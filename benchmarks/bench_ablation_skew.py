@@ -1,0 +1,144 @@
+"""Ablation -- Section 3.3's skew assumption, stress-tested.
+
+The hash algorithms assume "the key distribution has a bounded density and
+the hash function effectively randomizes the keys", leaning on the central
+limit theorem for even partitions, with recursion as the escape hatch "if
+we err slightly".  This benchmark errs more than slightly: Zipf-skewed join
+keys up to a single dominant hot key, checking that
+
+* every algorithm still produces identical (correct) join output;
+* hybrid hash degrades gracefully -- recursion bounds the damage so its
+  measured cost stays within a small factor of GRACE's even when the
+  uniform-hash assumption is demolished.
+
+A scoring caveat: GRACE's phase 2 builds each bucket's hash table without
+a memory check (the paper's own setup -- its phase 2 was a hardware sorter
+that handled any bucket size), so under skew GRACE silently exceeds the
+memory grant.  Hybrid is the only algorithm that *honestly* respects |M|
+via recursion, and the extra IO under extreme skew is the price of that
+honesty.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cost.parameters import CostParameters
+from repro.join import GraceHashJoin, HybridHashJoin, JoinSpec, SimpleHashJoin
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, make_schema
+from repro.workload.distributions import uniform_keys, zipf_keys
+
+from conftest import emit, format_table
+
+R_TUPLES, S_TUPLES = 2000, 4000
+MEMORY = 24
+
+
+def build(theta):
+    domain = 400
+    if theta is None:
+        r_keys = uniform_keys(R_TUPLES, domain, seed=3)
+        s_keys = uniform_keys(S_TUPLES, domain, seed=4)
+    else:
+        r_keys = zipf_keys(R_TUPLES, domain, theta=theta, seed=3)
+        s_keys = zipf_keys(S_TUPLES, domain, theta=theta, seed=4)
+    r = Relation("r", make_schema(("key", DataType.INTEGER),
+                                  ("v", DataType.INTEGER)), 64)
+    s = Relation("s", make_schema(("skey", DataType.INTEGER),
+                                  ("w", DataType.INTEGER)), 64)
+    for i, k in enumerate(r_keys):
+        r.insert_unchecked((k, i))
+    for i, k in enumerate(s_keys):
+        s.insert_unchecked((k, i))
+    return r, s
+
+
+def run_algorithms(r, s):
+    params = CostParameters(
+        r_pages=min(r.page_count, s.page_count),
+        s_pages=max(r.page_count, s.page_count),
+        r_tuples_per_page=8,
+        s_tuples_per_page=8,
+    )
+    results = {}
+    for name, cls in (
+        ("simple-hash", SimpleHashJoin),
+        ("grace-hash", GraceHashJoin),
+        ("hybrid-hash", HybridHashJoin),
+    ):
+        spec = JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=MEMORY, params=params)
+        out = cls().join(spec)
+        results[name] = (
+            Counter(tuple(sorted(map(repr, row))) for row in out.relation),
+            out.modelled_seconds,
+        )
+    return results
+
+
+def test_skew_correctness_and_graceful_degradation(benchmark):
+    def sweep():
+        rows = []
+        for label, theta in (("uniform", None), ("zipf 0.8", 0.8),
+                             ("zipf 1.2", 1.2)):
+            r, s = build(theta)
+            results = run_algorithms(r, s)
+            outputs = {name: out for name, (out, _) in results.items()}
+            assert len(set(map(frozenset, (
+                o.items() for o in outputs.values()
+            )))) == 1, "algorithms diverged under %s" % label
+            rows.append(
+                (label,) + tuple(
+                    results[n][1]
+                    for n in ("simple-hash", "grace-hash", "hybrid-hash")
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_skew",
+        format_table(
+            ["distribution", "simple (s)", "grace (s)", "hybrid (s)"],
+            rows,
+        ),
+    )
+    for label, simple, grace, hybrid in rows:
+        # Recursion keeps hybrid within a small factor of (memory-cheating,
+        # see module docstring) GRACE even when partitions are badly
+        # uneven; at moderate skew the two are neck and neck.
+        bound = 2.5 if "1.2" in label else 1.25
+        assert hybrid < bound * grace, label
+        assert hybrid < simple, label
+
+
+def test_single_hot_key_still_correct(benchmark):
+    """The pathological limit: half of R on one key.  No partitioning can
+    split it; recursion bottoms out and the oversized bucket is processed
+    in one table -- results must still be exact."""
+
+    def run():
+        r = Relation("r", make_schema(("key", DataType.INTEGER),
+                                      ("v", DataType.INTEGER)), 64)
+        s = Relation("s", make_schema(("skey", DataType.INTEGER),
+                                      ("w", DataType.INTEGER)), 64)
+        for i in range(1000):
+            r.insert_unchecked((7 if i % 2 else i, i))
+        for i in range(2000):
+            s.insert_unchecked((7 if i % 4 == 0 else i % 500, i))
+        params = CostParameters(
+            r_pages=r.page_count, s_pages=s.page_count,
+            r_tuples_per_page=8, s_tuples_per_page=8,
+        )
+        expected = 0
+        r_counts = Counter(row[0] for row in r)
+        for row in s:
+            expected += r_counts.get(row[0], 0)
+        spec = JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=12, params=params)
+        out = HybridHashJoin().join(spec)
+        return out.cardinality, expected
+
+    got, expected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert got == expected

@@ -1,0 +1,101 @@
+"""Ablation -- Section 3.2's TID-key-pair question.
+
+"If only TIDs or TID-Key pairs are used, there is a significant space
+savings... the decision affects our algorithms only in the values assigned
+to certain parameters.  For example, if only TID-key pairs are used then
+the parameter measuring the time for a move will be smaller."
+
+The ablation re-costs Figure 1 with the move/swap parameters scaled down
+(TID-key pairs are a fraction of a 100-byte tuple) and the fudge factor
+relaxed (smaller entries pack tighter).  The conclusions must be invariant:
+hybrid still dominates, crossovers keep their order -- the reason the paper
+could "avoid making a choice".
+"""
+
+import pytest
+
+from repro.cost.join_model import JoinCostModel
+from repro.cost.parameters import TABLE2_DEFAULTS
+
+from conftest import emit, format_table
+
+#: TID (4B) + key (8B) = 12 bytes vs a 100-byte tuple: moves ~8x cheaper.
+TID_PAIRS = TABLE2_DEFAULTS.with_updates(move=2.5e-6, swap=7.5e-6)
+
+RATIOS = [0.05, 0.1, 0.3, 0.6, 1.0]
+
+
+def costs_at(params, ratio):
+    model = JoinCostModel(params)
+    memory = max(params.minimum_memory_pages, params.memory_for_ratio(ratio))
+    return model.costs(memory)
+
+
+def test_conclusions_invariant_under_tid_pairs(benchmark):
+    def run():
+        rows = []
+        for ratio in RATIOS:
+            whole = costs_at(TABLE2_DEFAULTS, ratio)
+            tids = costs_at(TID_PAIRS, ratio)
+            rows.append((ratio, whole, tids))
+        return rows
+
+    rows = benchmark(run)
+
+    lines = format_table(
+        ["ratio", "hybrid (tuples)", "hybrid (TID pairs)",
+         "winner (tuples)", "winner (TID pairs)"],
+        [
+            (
+                ratio,
+                "%.0f s" % whole["hybrid-hash"],
+                "%.0f s" % tids["hybrid-hash"],
+                min(whole, key=whole.get),
+                min(tids, key=tids.get),
+            )
+            for ratio, whole, tids in rows
+        ],
+    )
+    emit("ablation_tid_pairs", lines)
+
+    for ratio, whole, tids in rows:
+        # The decisive conclusion is representation-invariant: a hash
+        # algorithm wins, and hybrid is (within the simple/hybrid tie
+        # region around their crossover) at worst a whisker from the best.
+        for costs in (whole, tids):
+            winner = min(costs, key=costs.get)
+            assert winner != "sort-merge", ratio
+            assert costs["hybrid-hash"] <= costs[winner] * 1.02, ratio
+        # Hybrid still dominates GRACE.
+        assert tids["hybrid-hash"] <= tids["grace-hash"] * 1.001
+        # Cheaper moves help every algorithm; sort-merge (swap-heavy)
+        # gains the most in absolute terms but still loses.
+        assert tids["sort-merge"] < whole["sort-merge"]
+        assert tids["sort-merge"] > tids["hybrid-hash"]
+
+
+def test_tid_fetch_cost_caveat(benchmark):
+    """The paper's counterweight: with TIDs, "every time a pair of joined
+    tuples is output, the original tuples must be retrieved" -- at one
+    random IO per result tuple, a high-output join erases the savings."""
+
+    def run():
+        params = TABLE2_DEFAULTS
+        model_whole = costs_at(params, 0.5)["hybrid-hash"]
+        model_tids = costs_at(TID_PAIRS, 0.5)["hybrid-hash"]
+        # Suppose the join emits 100k result tuples and the base tuples
+        # are disk resident: two random fetches per result pair.
+        fetch_penalty = 100_000 * 2 * params.io_rand
+        return model_whole, model_tids, model_tids + fetch_penalty
+
+    whole, tids, tids_with_fetch = benchmark(run)
+    emit(
+        "ablation_tid_fetch",
+        [
+            "whole tuples:             %8.0f s" % whole,
+            "TID pairs (no fetch):     %8.0f s" % tids,
+            "TID pairs + 100k fetches: %8.0f s" % tids_with_fetch,
+        ],
+    )
+    assert tids < whole
+    assert tids_with_fetch > whole  # "can exceed the savings"

@@ -1,0 +1,92 @@
+"""E3 -- Figure 1: the four join algorithms vs |M| / (|R| * F).
+
+Regenerates the paper's central figure from the Section 3 cost formulas at
+the exact Table 2 settings and asserts its qualitative geometry:
+
+* hybrid hash <= GRACE everywhere, converging at the two-pass floor;
+* simple hash blows up at low memory and crosses below GRACE/sort-merge as
+  memory grows;
+* sort-merge is the worst two-pass method across the swept range;
+* all hash algorithms meet at ratio 1.0 (R's table memory resident), where
+  simple == hybrid exactly;
+* hybrid has the abrupt IOrand -> IOseq discontinuity at ratio 0.5.
+"""
+
+import pytest
+
+from repro.cost.join_model import JoinCostModel, figure1_series
+from repro.cost.parameters import TABLE2_DEFAULTS
+
+from conftest import emit, format_table
+
+RATIOS = [0.011, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.495, 0.505, 0.6, 0.8, 1.0]
+ALGOS = ["sort-merge", "simple-hash", "grace-hash", "hybrid-hash"]
+
+
+def test_figure1_curves(benchmark):
+    rows = benchmark(figure1_series, TABLE2_DEFAULTS, RATIOS)
+
+    lines = format_table(
+        ["|M|/(|R|F)", "pages"] + ALGOS,
+        [
+            [r["ratio"], int(r["memory_pages"])] + ["%.0f s" % r[a] for a in ALGOS]
+            for r in rows
+        ],
+    )
+    emit("figure1_join_costs", lines)
+
+    by_ratio = {round(r["ratio"], 3): r for r in rows}
+
+    # Hybrid dominates GRACE at every point, and GRACE is flat.
+    grace = [r["grace-hash"] for r in rows]
+    assert max(grace) - min(grace) < 1.0
+    for r in rows:
+        assert r["hybrid-hash"] <= r["grace-hash"] * 1.001
+
+    # Simple hash: catastrophic on the left, competitive on the right.
+    assert by_ratio[0.011]["simple-hash"] > 10 * by_ratio[0.011]["grace-hash"]
+    assert by_ratio[1.0]["simple-hash"] == pytest.approx(
+        by_ratio[1.0]["hybrid-hash"]
+    )
+
+    # Sort-merge is the worst two-pass method over the whole chart.
+    for r in rows:
+        assert r["sort-merge"] > r["grace-hash"]
+        assert r["sort-merge"] > r["hybrid-hash"]
+
+    # Crossover: simple hash overtakes sort-merge somewhere in mid-range.
+    left = by_ratio[0.02]
+    right = by_ratio[0.4]
+    assert left["simple-hash"] > left["sort-merge"]
+    assert right["simple-hash"] < right["sort-merge"]
+
+    # The hybrid discontinuity at 0.5 (one output buffer -> IOseq).
+    assert by_ratio[0.495]["hybrid-hash"] - by_ratio[0.505]["hybrid-hash"] > 50
+
+    # Absolute anchor points from the paper's chart: GRACE ~ 700-1000 s,
+    # hybrid at full memory ~ tens of seconds.
+    assert 500 < by_ratio[0.1]["grace-hash"] < 1100
+    assert by_ratio[1.0]["hybrid-hash"] < 50
+
+
+def test_best_algorithm_is_hashing_everywhere(benchmark):
+    """Section 4's premise, quantified: the winner is a hash join at every
+    memory grant above the two-pass floor."""
+    model = JoinCostModel(TABLE2_DEFAULTS)
+
+    def winners():
+        results = {}
+        for ratio in RATIOS:
+            memory = TABLE2_DEFAULTS.memory_for_ratio(ratio)
+            memory = max(memory, TABLE2_DEFAULTS.minimum_memory_pages)
+            results[ratio] = model.best(memory)
+        return results
+
+    best = benchmark(winners)
+    emit(
+        "figure1_winners",
+        ["%6.3f  ->  %s" % (ratio, name) for ratio, name in best.items()],
+    )
+    assert all(name != "sort-merge" for name in best.values())
+    # On the right half of the chart hybrid (== simple at 1.0) wins.
+    assert best[1.0] in ("hybrid-hash", "simple-hash")

@@ -1,0 +1,158 @@
+"""E2 (measured) -- Section 2's sequential-access case, executed.
+
+"Consider the query retrieve (emp.salary, emp.name) where emp.name = 'J*'
+... locate the first employee with a name beginning with J and then read
+sequentially."  The model says the AVL tree faults on (almost) every record
+while the B+-tree's sequence set faults once per leaf page.  This benchmark
+runs that exact query shape on both structures, replaying the pages each
+scan really touches through a buffer pool, and checks the measured gap.
+"""
+
+import random
+
+import pytest
+
+from repro.access.avl import AVLTree
+from repro.access.btree import BPlusTree
+from repro.storage.buffer import BufferPool, ReplacementPolicy
+from repro.workload.distributions import name_keys
+
+from conftest import emit, format_table
+
+N = 6000
+
+
+def build():
+    names = name_keys(N, seed=12)
+    avl = AVLTree()
+    btree = BPlusTree(order=32)
+    for i, name in enumerate(names):
+        avl.insert(name, i)
+        btree.insert(name, i)
+    return avl, btree, names
+
+
+def avl_scan_pages(avl, low, high):
+    """Pages an AVL in-order scan touches: the node of every visited key.
+
+    (The real traversal also touches ancestors; counting one page per
+    yielded record matches the model's N-touch accounting and is the
+    *favourable* reading for the AVL tree.)
+    """
+    pages = []
+    node_of = {}
+    stack = []
+    node = avl._root
+    while stack or node is not None:
+        while node is not None:
+            if low is not None and node.key < low:
+                node = node.right
+                continue
+            stack.append(node)
+            node = node.left
+        if not stack:
+            break
+        current = stack.pop()
+        if high is not None and current.key > high:
+            break
+        if current.key >= low:
+            pages.append(current.node_id)
+        node = current.right
+    return pages
+
+
+def measure(index, scan_pages, total_pages, fraction, keys, seed=5):
+    """Faults for one scan against a pool warmed by *unrelated* random
+    lookups -- the §2 setting where the structure is partially resident
+    from ordinary point-query traffic."""
+    pool = BufferPool(
+        max(1, int(fraction * total_pages)),
+        policy=ReplacementPolicy.RANDOM,
+        seed=seed,
+    )
+    rng = random.Random(seed + 1)
+    for _ in range(4 * len(keys)):
+        for page in index.path_pages(keys[rng.randrange(len(keys))]):
+            pool.access(page)
+    pool.reset_stats()
+    for p in scan_pages:
+        pool.access(p)
+    return pool.faults
+
+
+def test_prefix_scan_fault_gap(benchmark):
+    def run():
+        avl, btree, names = build()
+        low, high = "J", "K"
+        matches = sum(1 for n in names if n.startswith("J"))
+
+        avl_pages = avl_scan_pages(avl, low, high)
+        bt_pages = list(btree.scan_pages(low, high))
+        internal, leaves = btree.node_counts()
+
+        rows = []
+        for fraction in (0.25, 0.5, 0.75):
+            avl_faults = measure(avl, avl_pages, avl.node_count, fraction,
+                                 names)
+            bt_faults = measure(btree, bt_pages, internal + leaves, fraction,
+                                names)
+            rows.append(
+                (fraction, matches,
+                 avl_faults / matches, bt_faults / matches)
+            )
+        return matches, len(avl_pages), len(bt_pages), rows
+
+    matches, avl_touched, bt_touched, rows = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = format_table(
+        ["|M|/S", "records", "AVL faults/record", "B+ faults/record"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "pages touched per scan: AVL %d (one per record), B+-tree %d "
+        "(one per leaf)" % (avl_touched, bt_touched)
+    )
+    emit("sequential_access_measured", lines)
+
+    # The structural crux: the AVL scan touches ~N pages, the B+-tree a
+    # handful of leaves.
+    assert avl_touched == matches
+    assert bt_touched < matches / 5
+
+    for fraction, _, avl_rate, bt_rate in rows:
+        # The paper's case-2 conclusion, measured: the B+-tree faults at
+        # a small fraction of the AVL rate at every residence level.
+        assert bt_rate < avl_rate / 2, fraction
+
+
+def test_sequential_model_vs_measured_ordering(benchmark):
+    """The closed-form sequential costs must rank the structures the same
+    way the measured fault rates do at matching residence."""
+    from repro.cost.access_model import (
+        AccessMethodParameters,
+        avl_sequential_cost,
+        avl_storage_pages,
+        btree_sequential_cost,
+        btree_storage_pages,
+    )
+
+    def run():
+        params = AccessMethodParameters()
+        s = avl_storage_pages(params)
+        results = []
+        for fraction in (0.25, 0.5, 0.75):
+            m = fraction * s
+            results.append(
+                (
+                    fraction,
+                    avl_sequential_cost(params, m, 1000),
+                    btree_sequential_cost(params, m, 1000),
+                )
+            )
+        return results
+
+    rows = benchmark(run)
+    for fraction, avl_cost, bt_cost in rows:
+        assert bt_cost < avl_cost

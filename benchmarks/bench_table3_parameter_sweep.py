@@ -1,0 +1,114 @@
+"""E4 -- Table 3: robustness sweep of the Figure 1 conclusions.
+
+"We have generated similar graphs for the range of parameter values shown
+in Table 3.  For each of these values we observed the same qualitative
+shape and relative positioning of the different algorithms."  This
+benchmark re-runs the Figure 1 geometry checks over a sample of the Table 3
+box and over its corner lattice, counting how many settings preserve each
+qualitative property.
+"""
+
+import pytest
+
+from repro.cost.join_model import (
+    JoinWorkload,
+    grace_hash_cost,
+    hybrid_hash_cost,
+    simple_hash_cost,
+    sort_merge_cost,
+)
+from repro.cost.parameters import table3_sample
+
+from conftest import emit, format_table
+
+SWEEP_SIZE = 60
+
+
+def qualitative_shape_holds(params):
+    """The Figure 1 invariants, evaluated at one parameter setting."""
+    import math
+
+    floor = params.minimum_memory_pages
+    full = math.ceil(params.r_pages * params.fudge)
+    if full <= floor:
+        return None  # degenerate instance; R's table below the 2-pass floor
+    mid = max(floor, full // 3)
+
+    def costs(memory):
+        w = JoinWorkload(params=params, memory_pages=memory)
+        return {
+            "sort": sort_merge_cost(w),
+            "simple": simple_hash_cost(w),
+            "grace": grace_hash_cost(w),
+            "hybrid": hybrid_hash_cost(w),
+        }
+
+    low, middle, high = costs(floor), costs(mid), costs(full)
+    checks = {
+        "hybrid<=grace": all(
+            c["hybrid"] <= c["grace"] * 1.001 for c in (low, middle, high)
+        ),
+        "hash beats sort": all(
+            min(c["hybrid"], c["simple"], c["grace"]) < c["sort"]
+            for c in (low, middle, high)
+        ),
+        "simple worst at floor": low["simple"] >= low["hybrid"],
+        "hybrid monotone": low["hybrid"] >= middle["hybrid"] >= high["hybrid"] * 0.999,
+        "simple==hybrid at full": abs(high["simple"] - high["hybrid"])
+        <= 1e-6 * max(1.0, high["hybrid"]),
+    }
+    return checks
+
+
+def test_table3_sweep_preserves_figure1(benchmark):
+    settings = table3_sample(SWEEP_SIZE, seed=1984)
+
+    def sweep():
+        tallies = {}
+        evaluated = 0
+        for params in settings:
+            checks = qualitative_shape_holds(params)
+            if checks is None:
+                continue
+            evaluated += 1
+            for name, ok in checks.items():
+                tallies.setdefault(name, 0)
+                tallies[name] += bool(ok)
+        return evaluated, tallies
+
+    evaluated, tallies = benchmark(sweep)
+
+    lines = format_table(
+        ["invariant", "holds", "of"],
+        [(name, count, evaluated) for name, count in sorted(tallies.items())],
+    )
+    emit("table3_parameter_sweep", lines)
+
+    assert evaluated >= SWEEP_SIZE * 0.8
+    for name, count in tallies.items():
+        # The paper reports the same shape at every setting; allow a tiny
+        # slack for degenerate corners of the sampled box.
+        assert count >= 0.95 * evaluated, (name, count, evaluated)
+
+
+def test_table3_corner_lattice(benchmark):
+    """The 2^8 corner lattice of the Table 3 box, thinned to keep the
+    bench fast, must preserve hybrid's dominance over GRACE."""
+    from repro.cost.parameters import table3_grid
+
+    corners = [p for i, p in enumerate(table3_grid(2)) if i % 4 == 0]
+
+    def run():
+        violations = 0
+        evaluated = 0
+        for params in corners:
+            checks = qualitative_shape_holds(params)
+            if checks is None:
+                continue
+            evaluated += 1
+            violations += not checks["hybrid<=grace"]
+        return evaluated, violations
+
+    evaluated, violations = benchmark(run)
+    assert evaluated > 30
+    assert violations == 0

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Section 2, live: when does an AVL tree beat a B+-tree?
+
+Three views of the same question:
+
+1. the paper's closed-form Table 1 -- breakeven residence fractions over a
+   (Z, Y) grid;
+2. the cost curves for one setting, showing the crossover point;
+3. a measurement: real AVL and B+-tree lookups replayed through a buffer
+   pool at several memory sizes, counting actual page faults.
+
+Run:  python examples/access_method_tradeoff.py
+"""
+
+import random
+
+from repro.access.avl import AVLTree
+from repro.access.btree import BPlusTree
+from repro.cost.access_model import (
+    AccessMethodParameters,
+    avl_random_cost,
+    avl_storage_pages,
+    btree_random_cost,
+    btree_storage_pages,
+    random_breakeven_fraction,
+    table1,
+)
+from repro.storage.buffer import BufferPool, ReplacementPolicy
+
+N_KEYS = 5_000
+
+
+def closed_form() -> None:
+    print("Table 1 -- minimum memory-resident fraction for AVL to win:")
+    print("  %4s %5s %10s %14s" % ("Z", "Y", "random", "sequential"))
+    for row in table1(z_values=(10, 20, 30), y_values=(0.5, 0.75, 1.0)):
+        print(
+            "  %4.0f %5.2f %9.1f%% %13.1f%%"
+            % (row["Z"], row["Y"], 100 * row["random_H"],
+               100 * row["sequential_H"])
+        )
+    print(
+        "\n  -> the paper's headline: B+-trees remain preferred unless "
+        "80-90%+\n     of the structure is memory resident.\n"
+    )
+
+
+def cost_curves() -> None:
+    params = AccessMethodParameters(z=20, y=0.75)
+    s = avl_storage_pages(params)
+    s_prime = btree_storage_pages(params)
+    h_star = random_breakeven_fraction(params)
+    print(
+        "Cost per random lookup (Z=20, Y=0.75; AVL=%d pages, B+=%d pages):"
+        % (s, s_prime)
+    )
+    print("  %8s %12s %12s %8s" % ("|M|/S", "AVL cost", "B+ cost", "winner"))
+    for fraction in (0.0, 0.25, 0.5, 0.75, 0.9, h_star, 1.0):
+        m = fraction * s
+        avl = avl_random_cost(params, m)
+        bt = btree_random_cost(params, m)
+        tag = "breakeven" if abs(fraction - h_star) < 1e-9 else (
+            "AVL" if avl < bt else "B+-tree"
+        )
+        print("  %7.1f%% %12.1f %12.1f %9s" % (100 * fraction, avl, bt, tag))
+    print()
+
+
+def measured_faults() -> None:
+    avl = AVLTree()
+    btree = BPlusTree(order=32)
+    keys = list(range(N_KEYS))
+    random.Random(1).shuffle(keys)
+    for k in keys:
+        avl.insert(k, k)
+        btree.insert(k, k)
+    internal, leaves = btree.node_counts()
+    avl_pages = avl.node_count
+    bt_pages = internal + leaves
+
+    print(
+        "Measured page faults per lookup (%d keys; AVL spreads over %d "
+        "pages, B+-tree over %d):" % (N_KEYS, avl_pages, bt_pages)
+    )
+    print("  %8s %14s %14s" % ("|M|/S", "AVL faults", "B+ faults"))
+    rng = random.Random(2)
+    for fraction in (0.25, 0.5, 0.75, 0.95):
+        results = []
+        for tree, total in ((avl, avl_pages), (btree, bt_pages)):
+            pool = BufferPool(
+                max(1, int(fraction * total)),
+                policy=ReplacementPolicy.RANDOM,
+                seed=3,
+            )
+            # Warm the pool, then measure steady state.
+            for _ in range(4000):
+                for page in tree.path_pages(rng.randrange(N_KEYS)):
+                    pool.access(page)
+            pool.reset_stats()
+            probes = 4000
+            for _ in range(probes):
+                for page in tree.path_pages(rng.randrange(N_KEYS)):
+                    pool.access(page)
+            results.append(pool.faults / probes)
+        print("  %7.0f%% %14.2f %14.2f" % (100 * fraction, *results))
+    print(
+        "\n  -> steady state: the AVL tree keeps faulting until nearly all"
+        "\n     of its page-per-node structure is resident, while the"
+        "\n     B+-tree's few hot pages cache almost immediately."
+    )
+
+
+def main() -> None:
+    closed_form()
+    cost_curves()
+    measured_faults()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Figure 1, live: run the four join algorithms and plot their crossovers.
+
+Executes sort-merge, simple hash, GRACE hash, and hybrid hash on a real
+(scaled-down) Table 2 instance at a sweep of memory grants, weights the
+measured operation counters with the paper's machine constants, and renders
+the resulting curves as an ASCII chart -- the shape of the paper's Figure 1
+regenerated from *executed* joins rather than formulas.
+
+Run:  python examples/join_crossover.py
+"""
+
+import math
+
+from repro.cost.parameters import CostParameters
+from repro.join import ALL_JOINS, JoinSpec
+from repro.workload.generator import join_inputs
+
+ALGOS = ["sort-merge", "simple-hash", "grace-hash", "hybrid-hash"]
+MARKS = {"sort-merge": "S", "simple-hash": "s", "grace-hash": "G",
+         "hybrid-hash": "H"}
+RATIOS = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0]
+
+
+def build():
+    r, s = join_inputs(4000, 4000, key_domain=80_000, page_bytes=320)
+    params = CostParameters(
+        r_pages=r.page_count,
+        s_pages=s.page_count,
+        r_tuples_per_page=r.tuples_per_page,
+        s_tuples_per_page=s.tuples_per_page,
+    )
+    return r, s, params
+
+
+def measure(r, s, params, memory_pages):
+    costs = {}
+    for name in ALGOS:
+        spec = JoinSpec(
+            r=r, s=s, r_field="rkey", s_field="skey",
+            memory_pages=memory_pages, params=params,
+        )
+        try:
+            result = ALL_JOINS[name]().join(spec)
+        except ValueError:
+            costs[name] = None  # below the two-pass floor
+            continue
+        costs[name] = result.modelled_seconds
+    return costs
+
+
+def ascii_chart(rows):
+    """Log-scale scatter of cost vs memory ratio."""
+    values = [v for _, c in rows for v in c.values() if v]
+    lo, hi = math.log10(min(values)), math.log10(max(values))
+    height = 16
+    grid = [[" "] * (len(rows) * 8) for _ in range(height + 1)]
+    for col, (_, costs) in enumerate(rows):
+        for name in ALGOS:
+            v = costs[name]
+            if not v:
+                continue
+            y = round((math.log10(v) - lo) / (hi - lo) * height)
+            x = col * 8 + 3
+            cell = grid[height - y][x]
+            grid[height - y][x] = "*" if cell not in (" ", MARKS[name]) else MARKS[name]
+    lines = ["".join(row).rstrip() for row in grid]
+    axis = "".join(("%-8s" % ("%.2f" % ratio)) for ratio, _ in rows)
+    return "\n".join(lines) + "\n" + " " * 3 + axis.rstrip() + "   |M|/(|R|F)"
+
+
+def main() -> None:
+    r, s, params = build()
+    print(
+        "Join inputs: |R|=%d pages, |S|=%d pages, %d tuples each; "
+        "two-pass floor at %d pages of memory.\n"
+        % (params.r_pages, params.s_pages, params.r_tuples,
+           params.minimum_memory_pages)
+    )
+
+    rows = []
+    print("%-8s %12s %12s %12s %12s" % ("ratio", *ALGOS))
+    for ratio in RATIOS:
+        memory = max(
+            params.minimum_memory_pages, params.memory_for_ratio(ratio)
+        )
+        costs = measure(r, s, params, memory)
+        rows.append((ratio, costs))
+        print(
+            "%-8.2f %12s %12s %12s %12s"
+            % (
+                ratio,
+                *(
+                    ("%.2f s" % costs[a]) if costs[a] else "(floor)"
+                    for a in ALGOS
+                ),
+            )
+        )
+
+    print("\nModelled seconds (log scale)  [S]=sort-merge [s]=simple [G]=GRACE [H]=hybrid\n")
+    print(ascii_chart(rows))
+
+    print(
+        "\nReading the chart: hybrid [H] tracks or beats everything; "
+        "simple hash [s] is ruinous on the left but converges with hybrid "
+        "at 1.0; GRACE [G] is flat; sort-merge [S] never wins -- the "
+        "paper's Figure 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

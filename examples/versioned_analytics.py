@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Section 6's closing conjecture, demonstrated: versioning for analytics.
+
+A transfer workload hammers the bank at ~1000 tps while a long-running
+analytics job repeatedly audits a wide slice of the accounts.  Run twice:
+
+* with the audit as an ordinary *locking* transaction (shared locks held
+  across its whole simulated lifetime), writers visibly queue behind it;
+* with the audit on a *multi-version snapshot*, writers never notice, and
+  every audit still sees a perfectly consistent balance sheet.
+
+Run:  python examples/versioned_analytics.py
+"""
+
+import random
+
+from repro.recovery import (
+    CommitPolicy,
+    DatabaseState,
+    LogManager,
+    TransactionEngine,
+    VersionManager,
+)
+from repro.sim import EventQueue, SimulatedClock
+
+ACCOUNTS = 500
+HORIZON = 3.0
+AUDIT_WIDTH = ACCOUNTS  # full balance sheet: its total is invariant
+CHUNK, THINK = 25, 0.002  # audit paging: 25 reads, then 2 ms of "CPU"
+
+
+def run(mode: str):
+    queue = EventQueue(SimulatedClock())
+    state = DatabaseState(ACCOUNTS, records_per_page=64, initial_value=100)
+    log = LogManager(queue, policy=CommitPolicy.GROUP)
+    engine = TransactionEngine(state, queue, log)
+    versions = VersionManager(engine) if mode == "versioned" else None
+
+    rng = random.Random(7)
+    t = 0.0
+    while t < HORIZON:
+        a, b = sorted(rng.sample(range(ACCOUNTS), 2))
+        amt = rng.randrange(1, 20)
+        engine.submit_at(
+            t,
+            [
+                ("write", a, lambda v, amt=amt: v - amt),
+                ("write", b, lambda v, amt=amt: v + amt),
+            ],
+        )
+        t += 0.001
+
+    audits = []
+
+    def start_audit():
+        ids = list(range(AUDIT_WIDTH))
+        if mode == "versioned":
+            snap = versions.snapshot()
+            acc = []
+
+            def page(offset=0):
+                acc.extend(snap.read_many(ids[offset:offset + CHUNK]))
+                if offset + CHUNK < len(ids):
+                    queue.schedule(THINK, lambda: page(offset + CHUNK))
+                else:
+                    audits.append(sum(acc))
+                    snap.release()
+                    versions.prune()
+
+            page()
+        else:
+            script = []
+            for offset in range(0, len(ids), CHUNK):
+                script.extend(("read", i) for i in ids[offset:offset + CHUNK])
+                script.append(("pause", THINK))
+            engine.submit(script)
+
+    at = 0.05
+    while at < HORIZON:
+        queue.schedule_at(at, start_audit)
+        at += 0.05
+
+    queue.run_until(HORIZON)
+    writers = [x for x in engine.committed if len(x.script) == 2]
+    latency = (
+        1000 * sum(w.latency for w in writers) / len(writers) if writers else 0
+    )
+    return len(writers) / HORIZON, latency, audits
+
+
+def main() -> None:
+    print("Transfer stream at ~1000 tps; %d-account audits every 50 ms.\n"
+          % AUDIT_WIDTH)
+    for mode in ("locking", "versioned"):
+        tps, latency, audits = run(mode)
+        print("%-9s audits: writers %4.0f tps, mean commit latency %5.1f ms"
+              % (mode, tps, latency))
+        if mode == "versioned":
+            balanced = all(total == ACCOUNTS * 100 for total in audits)
+            print("          %d snapshot audits, all balanced: %s"
+                  % (len(audits), balanced))
+    print(
+        "\nThe paper's closing line, measured: lock-free versioned reads"
+        "\nkeep writers at full speed while every audit stays consistent."
+    )
+
+
+if __name__ == "__main__":
+    main()

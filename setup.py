@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs on machines without
+the ``wheel`` package (PEP 660 editable wheels need it; ``setup.py
+develop`` does not)."""
+
+from setuptools import setup
+
+setup()

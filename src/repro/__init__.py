@@ -1,0 +1,37 @@
+"""repro -- a reproduction of *Implementation Techniques for Main Memory
+Database Systems* (DeWitt, Katz, Olken, Shapiro, Stonebraker, Wood; SIGMOD
+1984).
+
+The package is organised by the paper's sections:
+
+* Section 2 (access methods): :mod:`repro.access`, :mod:`repro.cost`
+  (``access_model``).
+* Section 3 (join and other operators): :mod:`repro.join`,
+  :mod:`repro.operators`, :mod:`repro.cost` (``join_model``).
+* Section 4 (access planning): :mod:`repro.planner`.
+* Section 5 (recovery): :mod:`repro.recovery` over :mod:`repro.sim`.
+* Substrate: :mod:`repro.storage`; workloads: :mod:`repro.workload`.
+* Facade: :class:`repro.MainMemoryDatabase`.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.database import MainMemoryDatabase
+from repro.cost.counters import CostReport, OperationCounters
+from repro.cost.parameters import TABLE2_DEFAULTS, CostParameters
+from repro.storage.tuples import DataType, Field, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostParameters",
+    "CostReport",
+    "DataType",
+    "Field",
+    "MainMemoryDatabase",
+    "OperationCounters",
+    "Schema",
+    "TABLE2_DEFAULTS",
+    "__version__",
+]

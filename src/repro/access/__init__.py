@@ -1,0 +1,36 @@
+"""Executable access methods from Section 2 of the paper.
+
+* :class:`~repro.access.avl.AVLTree` -- the main-memory candidate: one
+  tuple per node, two child pointers, no page structure (every node lands
+  on its own page as far as the fault model is concerned).
+* :class:`~repro.access.btree.BPlusTree` -- the disk-era incumbent:
+  page-structured nodes, ~69% occupancy after splits, chained leaves for
+  sequential access.
+* :class:`~repro.access.hash_index.HashIndex` -- the equality-only
+  structure the Section 3 algorithms and the Section 4 planner rely on.
+* :class:`~repro.access.paged_binary.PagedBinaryTree` -- the footnote-1
+  alternative: a binary tree whose nodes are packed onto pages.
+
+All four share the :class:`~repro.access.interface.Index` protocol and
+charge key comparisons / hashes to an optional
+:class:`~repro.cost.counters.OperationCounters`, and expose the page ids a
+lookup touches so the buffer-pool experiments can replay real access
+patterns against the Section 2 closed-form fault model.
+"""
+
+from repro.access.avl import AVLTree
+from repro.access.btree import BPlusTree
+from repro.access.hash_index import HashIndex
+from repro.access.interface import Index
+from repro.access.paged_binary import PagedBinaryTree
+from repro.access.simulator import AccessSimulator, measured_breakeven
+
+__all__ = [
+    "AVLTree",
+    "AccessSimulator",
+    "BPlusTree",
+    "HashIndex",
+    "Index",
+    "PagedBinaryTree",
+    "measured_breakeven",
+]

@@ -1,0 +1,64 @@
+"""The access-method protocol shared by every index in the reproduction.
+
+Values are opaque to the index; the database stores TIDs (page, slot pairs
+into a :class:`~repro.storage.relation.Relation`), matching the paper's
+observation that hash/sort structures may hold "TIDs and perhaps keys"
+rather than whole tuples.  Duplicate keys are supported everywhere -- each
+key maps to the list of values inserted under it, in insertion order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class Index(abc.ABC):
+    """Ordered or hashed mapping from keys to lists of values."""
+
+    @abc.abstractmethod
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` under ``key`` (duplicates allowed)."""
+
+    @abc.abstractmethod
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+
+    @abc.abstractmethod
+    def delete(self, key: Any, value: Optional[Any] = None) -> int:
+        """Remove ``value`` under ``key`` (or every value when ``None``).
+
+        Returns the number of values removed.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Total number of stored values (not distinct keys)."""
+
+    def contains(self, key: Any) -> bool:
+        """Whether any value is stored under ``key``."""
+        return bool(self.search(key))
+
+    # Ordered indexes additionally implement the scan protocol; the hash
+    # index raises, which is exactly the Section 4 point that hash-based
+    # plans are insensitive to ordering because they never produce any.
+
+    def range_scan(
+        self, low: Optional[Any] = None, high: Optional[Any] = None
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` in key order for ``low <= key <= high``."""
+        raise NotImplementedError(
+            "%s does not support ordered scans" % type(self).__name__
+        )
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Every ``(key, value)`` pair (key order for ordered indexes)."""
+        return self.range_scan(None, None)
+
+    @property
+    def supports_range_scan(self) -> bool:
+        """Whether :meth:`range_scan` is implemented."""
+        return type(self).range_scan is not Index.range_scan
+
+
+__all__ = ["Index"]

@@ -1,0 +1,13 @@
+"""The public facade: a main-memory relational database.
+
+:class:`~repro.core.database.MainMemoryDatabase` wires the storage
+substrate, access methods, operators, and the Section 4 planner into the
+interface a downstream user programs against; the recovery subsystem
+(Section 5) is exposed through
+:class:`~repro.core.database.RecoverableBank`-style setups in
+:mod:`repro.recovery` and the examples.
+"""
+
+from repro.core.database import MainMemoryDatabase
+
+__all__ = ["MainMemoryDatabase"]

@@ -1,0 +1,232 @@
+"""``MainMemoryDatabase`` -- the library's front door.
+
+A memory-resident relational database in the mould the paper studies:
+tables are paged heaps, secondary indexes come in all four Section 2
+flavours (B+-tree, AVL, hash, paged binary tree), queries go through the
+Section 4 planner (which picks hash joins and pushes selections down), and
+every execution is instrumented with the Section 3 operation counters so
+costs can be reported in the paper's modelled seconds.
+
+Typical use::
+
+    db = MainMemoryDatabase()
+    db.create_table("emp", [("emp_id", DataType.INTEGER),
+                            ("name", DataType.STRING),
+                            ("salary", DataType.INTEGER)])
+    db.create_index("emp", "name", kind="btree")
+    db.insert("emp", (1, "Jones", 52000))
+    rows = db.lookup("emp", "name", "Jones")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.access.avl import AVLTree
+from repro.access.btree import BPlusTree
+from repro.access.hash_index import HashIndex
+from repro.access.paged_binary import PagedBinaryTree
+from repro.cost.counters import CostReport, OperationCounters
+from repro.cost.parameters import CostParameters
+from repro.operators.selection import Comparison, Predicate, select
+from repro.planner.plan import PlanContext, PlanNode
+from repro.planner.planner import Planner, PlannerConfig
+from repro.planner.query import Query
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, Field, Schema
+
+_INDEX_KINDS = {
+    "btree": BPlusTree,
+    "avl": AVLTree,
+    "hash": HashIndex,
+    "paged-binary": PagedBinaryTree,
+}
+
+SchemaSpec = Union[Schema, Sequence[Tuple[str, DataType]]]
+
+
+class MainMemoryDatabase:
+    """A self-contained MMDB instance."""
+
+    def __init__(
+        self,
+        memory_pages: int = 1000,
+        params: Optional[CostParameters] = None,
+        page_bytes: int = 4096,
+    ) -> None:
+        self.catalog = Catalog()
+        self.params = params if params is not None else CostParameters()
+        self.memory_pages = memory_pages
+        self.page_bytes = page_bytes
+        self.counters = OperationCounters()
+        self._planner = Planner(
+            self.catalog,
+            PlannerConfig(memory_pages=memory_pages, params=self.params),
+        )
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: SchemaSpec) -> Relation:
+        """Create an empty table; ``schema`` is a Schema or (name, type)
+        pairs."""
+        if not isinstance(schema, Schema):
+            schema = Schema([Field(n, t) for n, t in schema])
+        relation = Relation(name, schema, self.page_bytes)
+        self.catalog.register(relation)
+        return relation
+
+    def register_table(self, relation: Relation) -> Relation:
+        """Adopt an externally built relation (workload generators)."""
+        return self.catalog.register(relation)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    def create_index(self, table: str, column: str, kind: str = "btree") -> Any:
+        """Build a secondary index over existing rows; maintained on
+        insert/delete.
+
+        ``kind`` is one of "btree", "avl", "hash", or "paged-binary" --
+        the four Section 2 access methods.
+        """
+        try:
+            factory = _INDEX_KINDS[kind]
+        except KeyError:
+            raise ValueError(
+                "unknown index kind %r (choose from %s)"
+                % (kind, sorted(_INDEX_KINDS))
+            ) from None
+        relation = self.catalog.relation(table)
+        index = factory(counters=self.counters)
+        col = relation.schema.index_of(column)
+        for tid, row in relation.scan():
+            index.insert(row[col], tid)
+        self.catalog.register_index(table, column, index)
+        return index
+
+    def drop_index(self, table: str, column: str) -> None:
+        self.catalog.drop_index(table, column)
+
+    # -- DML ------------------------------------------------------------------------
+
+    def insert(self, table: str, values: Sequence[Any]) -> Tuple[int, int]:
+        """Insert one row, maintaining every index on the table."""
+        relation = self.catalog.relation(table)
+        tid = relation.insert(values)
+        for column, index in self.catalog.indexes_on(table).items():
+            index.insert(values[relation.schema.index_of(column)], tid)
+        return tid
+
+    def insert_many(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(table, values)
+            count += 1
+        return count
+
+    def delete_where(self, table: str, column: str, value: Any) -> int:
+        """Delete rows with ``column == value`` (index-assisted when
+        possible).  Returns the number of rows removed.
+
+        Heap pages keep their slots stable by replacing deleted rows with
+        the page's last row, so indexes are rebuilt for the moved TIDs --
+        simple, and sufficient for the workloads here.
+        """
+        relation = self.catalog.relation(table)
+        col = relation.schema.index_of(column)
+        victims = [tid for tid, row in relation.scan() if row[col] == value]
+        if not victims:
+            return 0
+        # Simplest correct strategy: rebuild the relation without victims.
+        survivors = [row for _, row in relation.scan() if row[col] != value]
+        relation.truncate()
+        for row in survivors:
+            relation.insert_unchecked(row)
+        for idx_col in list(self.catalog.indexes_on(table)):
+            self.catalog.drop_index(table, idx_col)
+            self.create_index(table, idx_col)
+        return len(victims)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def table(self, name: str) -> Relation:
+        return self.catalog.relation(name)
+
+    def lookup(self, table: str, column: str, value: Any) -> List[Tuple[Any, ...]]:
+        """Point lookup through an index (or a scan when none exists)."""
+        relation = self.catalog.relation(table)
+        index = self.catalog.index(table, column)
+        if index is None:
+            pred = Comparison(column, "=", value)
+            return list(select(relation, pred, self.counters))
+        return [relation.fetch(tid) for tid in index.search(value)]
+
+    def range_lookup(
+        self, table: str, column: str, low: Any, high: Any
+    ) -> List[Tuple[Any, ...]]:
+        """Range lookup ``low <= column <= high`` via an ordered index."""
+        relation = self.catalog.relation(table)
+        index = self.catalog.index(table, column)
+        if index is None or not index.supports_range_scan:
+            pred = Comparison(column, ">=", low) & Comparison(column, "<=", high)
+            return list(select(relation, pred, self.counters))
+        return [relation.fetch(tid) for _, tid in index.range_scan(low, high)]
+
+    def plan(self, query: Query) -> PlanNode:
+        """Optimize ``query`` (Section 4) without executing it."""
+        return self._planner.plan(query)
+
+    def explain(self, query: Query) -> str:
+        return self._planner.explain(query)
+
+    def execute(self, query: Query) -> Relation:
+        """Optimize and run ``query``; counters accumulate on ``self``."""
+        plan = self._planner.plan(query)
+        ctx = PlanContext(
+            catalog=self.catalog,
+            memory_pages=self.memory_pages,
+            params=self.params,
+            counters=self.counters,
+        )
+        return plan.execute(ctx)
+
+    # -- SQL front end --------------------------------------------------------------------
+
+    def sql(self, text: str) -> Relation:
+        """Parse, plan, and execute a SQL query (see repro.planner.sql
+        for the supported fragment)."""
+        from repro.planner.sql import parse_sql
+
+        return self.execute(parse_sql(text, self.catalog))
+
+    def sql_explain(self, text: str) -> str:
+        """The optimized plan for a SQL query, as text."""
+        from repro.planner.sql import parse_sql
+
+        return self.explain(parse_sql(text, self.catalog))
+
+    # -- instrumentation ------------------------------------------------------------------
+
+    def cost_report(self, label: str = "session") -> CostReport:
+        """Modelled seconds for everything charged so far."""
+        return self.counters.report(self.params, label)
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Refresh optimizer statistics (all tables when ``table`` is
+        None)."""
+        names = [table] if table else self.catalog.relations()
+        for name in names:
+            self.catalog.analyze(name)
+
+    def __repr__(self) -> str:
+        return "MainMemoryDatabase(%d tables, |M|=%d pages)" % (
+            len(self.catalog.relations()),
+            self.memory_pages,
+        )
+
+
+__all__ = ["MainMemoryDatabase"]

@@ -1,0 +1,79 @@
+"""Cost modelling substrate for the SIGMOD 1984 MMDB reproduction.
+
+The paper evaluates every design through *analytic simulation*: algorithms
+are charged per primitive operation (key comparison, key hash, tuple move,
+tuple swap, sequential IO, random IO), and the charges are weighted with the
+machine parameters of its Table 2.  This package holds:
+
+* :mod:`repro.cost.parameters` -- the parameter records (Table 2 defaults,
+  Table 3 sweep ranges, Section 2 access-method parameters).
+* :mod:`repro.cost.counters` -- the run-time instrumentation used by the
+  executable algorithms.
+* :mod:`repro.cost.access_model` -- Section 2: AVL vs B+-tree cost model and
+  the Table 1 breakeven generator.
+* :mod:`repro.cost.join_model` -- Section 3: closed-form costs of the four
+  join algorithms behind Figure 1.
+"""
+
+from repro.cost.access_model import (
+    AccessMethodParameters,
+    avl_random_cost,
+    avl_sequential_cost,
+    avl_storage_pages,
+    btree_fanout,
+    btree_height,
+    btree_random_cost,
+    btree_sequential_cost,
+    btree_storage_pages,
+    random_breakeven_fraction,
+    sequential_breakeven_fraction,
+    table1,
+)
+from repro.cost.counters import CostReport, OperationCounters
+from repro.cost.join_model import (
+    JoinCostModel,
+    JoinWorkload,
+    figure1_series,
+    grace_hash_cost,
+    hybrid_hash_cost,
+    hybrid_partition_plan,
+    simple_hash_cost,
+    simple_hash_passes,
+    sort_merge_cost,
+)
+from repro.cost.parameters import (
+    TABLE2_DEFAULTS,
+    TABLE3_RANGES,
+    CostParameters,
+    table3_grid,
+)
+
+__all__ = [
+    "AccessMethodParameters",
+    "CostParameters",
+    "CostReport",
+    "JoinCostModel",
+    "JoinWorkload",
+    "OperationCounters",
+    "TABLE2_DEFAULTS",
+    "TABLE3_RANGES",
+    "avl_random_cost",
+    "avl_sequential_cost",
+    "avl_storage_pages",
+    "btree_fanout",
+    "btree_height",
+    "btree_random_cost",
+    "btree_sequential_cost",
+    "btree_storage_pages",
+    "figure1_series",
+    "grace_hash_cost",
+    "hybrid_hash_cost",
+    "hybrid_partition_plan",
+    "random_breakeven_fraction",
+    "sequential_breakeven_fraction",
+    "simple_hash_cost",
+    "simple_hash_passes",
+    "sort_merge_cost",
+    "table1",
+    "table3_grid",
+]

@@ -1,0 +1,316 @@
+"""Section 2: analytic cost model for AVL trees vs B+-trees.
+
+The paper compares the two access methods for a keyed relation R that is
+*partially* memory resident.  Both structures need ``~log2(||R||)`` key
+comparisons per lookup; they differ in how many *pages* those comparisons
+touch.  Every AVL node lands on its own page, so with ``|M|`` buffer pages,
+random replacement, and ``S`` total structure pages, a lookup faults
+
+    C * (1 - |M| / S)
+
+times, whereas a B+-tree only faults once per level:
+
+    (height + 1) * (1 - |M| / S')
+
+The paper's figure of merit is ``cost = Z * |page reads| + |comparisons|``
+with ``Z`` in 10..30 (a page read costs ~2000 instructions + 30 ms, a
+comparison ~200 instructions), and a discount ``Y <= 1`` on AVL comparisons
+(AVL nodes need no within-page search).  Table 1 reports the minimum
+memory-resident fraction ``H = |M| / S`` at which the AVL tree wins; this
+module regenerates that table from inequality (1) and the analogous
+sequential-access inequality (2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AccessMethodParameters:
+    """Structural parameters of Section 2 (the paper's R / K / L / p / ptr).
+
+    * ``n_tuples``      -- ``||R||``, tuples in the relation.
+    * ``key_bytes``     -- ``K``, key width.
+    * ``tuple_bytes``   -- ``L``, tuple width.
+    * ``page_bytes``    -- ``p``, page size.
+    * ``pointer_bytes`` -- pointer width.
+    * ``z``             -- ``Z``, cost of a page read in comparison units.
+    * ``y``             -- ``Y``, AVL-comparison discount (``Y <= 1``).
+    * ``btree_fill``    -- B-tree node occupancy; Yao's 69% by default.
+    """
+
+    n_tuples: int = 1_000_000
+    key_bytes: int = 8
+    tuple_bytes: int = 100
+    page_bytes: int = 4096
+    pointer_bytes: int = 4
+    z: float = 20.0
+    y: float = 0.75
+    btree_fill: float = 0.69
+
+    def __post_init__(self) -> None:
+        if self.n_tuples < 1:
+            raise ValueError("relation must contain at least one tuple")
+        if self.tuple_bytes < self.key_bytes:
+            raise ValueError("tuple width must be at least the key width")
+        if not 0 < self.btree_fill <= 1:
+            raise ValueError("btree fill factor must be in (0, 1]")
+        if self.y <= 0 or self.y > 1:
+            raise ValueError("Y must be in (0, 1] -- AVL comparisons are "
+                             "at most as expensive as B+-tree comparisons")
+        if self.z <= 0:
+            raise ValueError("Z must be positive")
+        if self.page_bytes < self.tuple_bytes:
+            raise ValueError("a tuple must fit on one page")
+
+
+# ---------------------------------------------------------------------------
+# AVL tree model
+# ---------------------------------------------------------------------------
+
+def avl_comparisons(params: AccessMethodParameters) -> float:
+    """Expected comparisons per random lookup: ``log2(||R||) + 0.25``.
+
+    Knuth's average search depth in an AVL tree of ``||R||`` nodes.
+    """
+    return math.log2(params.n_tuples) + 0.25
+
+
+def avl_storage_pages(params: AccessMethodParameters) -> int:
+    """``S`` -- pages occupied by the AVL structure.
+
+    Each node stores one tuple plus two child pointers:
+    ``ceil(||R|| * (L + 2 * ptr) / p)``.
+    """
+    node_bytes = params.tuple_bytes + 2 * params.pointer_bytes
+    return math.ceil(params.n_tuples * node_bytes / params.page_bytes)
+
+
+def avl_random_cost(params: AccessMethodParameters, memory_pages: float) -> float:
+    """Cost of one random lookup in a partially resident AVL tree.
+
+    ``Z * C * (1 - |M|/S) + Y * C`` with the fault term clamped at zero once
+    the whole structure is resident.
+    """
+    c = avl_comparisons(params)
+    s = avl_storage_pages(params)
+    resident = min(1.0, memory_pages / s)
+    faults = c * (1.0 - resident)
+    return params.z * faults + params.y * c
+
+
+def avl_sequential_cost(
+    params: AccessMethodParameters, memory_pages: float, n_records: int
+) -> float:
+    """Cost of reading ``n_records`` in key order from an AVL tree.
+
+    Successive records live on unrelated pages (the tree has no page
+    structure), so each of the N node visits faults with probability
+    ``1 - |M|/S``; every visit is charged one discounted comparison.
+    """
+    s = avl_storage_pages(params)
+    resident = min(1.0, memory_pages / s)
+    faults = n_records * (1.0 - resident)
+    return params.z * faults + params.y * n_records
+
+
+# ---------------------------------------------------------------------------
+# B+-tree model
+# ---------------------------------------------------------------------------
+
+def btree_fanout(params: AccessMethodParameters) -> int:
+    """Average fanout ``0.69 * p / (K + ptr)`` (Yao's 69% occupancy)."""
+    fanout = int(
+        params.btree_fill * params.page_bytes
+        / (params.key_bytes + params.pointer_bytes)
+    )
+    if fanout < 2:
+        raise ValueError("page too small for a B+-tree index node")
+    return fanout
+
+
+def btree_leaf_pages(params: AccessMethodParameters) -> int:
+    """Leaf count ``ceil(||R|| * L / (0.69 * p))`` at 69% occupancy."""
+    return math.ceil(
+        params.n_tuples * params.tuple_bytes
+        / (params.btree_fill * params.page_bytes)
+    )
+
+
+def btree_height(params: AccessMethodParameters) -> int:
+    """Index height ``ceil(log_D(leaves))`` above the leaf level."""
+    leaves = btree_leaf_pages(params)
+    if leaves <= 1:
+        return 0
+    return math.ceil(math.log(leaves) / math.log(btree_fanout(params)))
+
+
+def btree_comparisons(params: AccessMethodParameters) -> float:
+    """Binary search across the whole tree: ``ceil(log2(||R||))``."""
+    return math.ceil(math.log2(params.n_tuples))
+
+
+def btree_storage_pages(params: AccessMethodParameters) -> int:
+    """``S'`` -- total pages: leaves plus the geometric index overhead."""
+    leaves = btree_leaf_pages(params)
+    fanout = btree_fanout(params)
+    total = leaves
+    level = leaves
+    while level > 1:
+        level = math.ceil(level / fanout)
+        total += level
+    return total
+
+
+def btree_random_cost(params: AccessMethodParameters, memory_pages: float) -> float:
+    """``Z * (height+1) * (1 - |M|/S') + C'`` for one random lookup."""
+    s_prime = btree_storage_pages(params)
+    resident = min(1.0, memory_pages / s_prime)
+    levels = btree_height(params) + 1
+    faults = levels * (1.0 - resident)
+    return params.z * faults + btree_comparisons(params)
+
+
+def btree_sequential_cost(
+    params: AccessMethodParameters, memory_pages: float, n_records: int
+) -> float:
+    """Cost of reading ``n_records`` off the sequence set.
+
+    Leaves pack ``0.69 * p / L`` records each, so N records touch
+    ``N * L / (0.69 * p)`` pages; each record costs one comparison to
+    deliver.
+    """
+    s_prime = btree_storage_pages(params)
+    resident = min(1.0, memory_pages / s_prime)
+    records_per_leaf = params.btree_fill * params.page_bytes / params.tuple_bytes
+    pages_touched = n_records / records_per_leaf
+    faults = pages_touched * (1.0 - resident)
+    return params.z * faults + n_records
+
+
+# ---------------------------------------------------------------------------
+# Breakeven analysis (inequality (1) and (2), Table 1)
+# ---------------------------------------------------------------------------
+
+def random_breakeven_fraction(params: AccessMethodParameters) -> Optional[float]:
+    """Minimum ``H = |M|/S`` at which the AVL tree wins random lookups.
+
+    Both structures are offered the *same* absolute memory ``|M|``; the cost
+    difference is linear in ``|M|``, so the crossover solves in closed form.
+    Returns ``None`` when the AVL tree loses even when fully resident, and
+    ``0.0`` when it wins with no memory at all (never the case for the
+    parameter ranges the paper considers).
+    """
+    c_avl = avl_comparisons(params)
+    c_bt = btree_comparisons(params)
+    s = avl_storage_pages(params)
+    s_prime = btree_storage_pages(params)
+    levels = btree_height(params) + 1
+
+    # DIFF(M) = cost_btree(M) - cost_avl(M); AVL preferred when DIFF >= 0.
+    diff_at_zero = (params.z * levels + c_bt) - (params.z * c_avl + params.y * c_avl)
+    slope = params.z * (c_avl / s - levels / s_prime)
+    if slope <= 0:
+        # AVL never catches up with added memory; it wins iff it already
+        # wins with zero memory.
+        return 0.0 if diff_at_zero >= 0 else None
+    if diff_at_zero >= 0:
+        return 0.0
+    m_star = -diff_at_zero / slope
+    h_star = m_star / s
+    if h_star > 1.0:
+        # Crossover would require more memory than the AVL structure
+        # occupies -- check whether full residence is enough (the B+-tree,
+        # being larger, still faults there).
+        full = (params.z * levels * (1.0 - s / s_prime) + c_bt) - params.y * c_avl
+        return 1.0 if full >= 0 else None
+    return h_star
+
+
+def sequential_breakeven_fraction(params: AccessMethodParameters) -> Optional[float]:
+    """Minimum ``H = |M|/S`` at which the AVL tree wins a sequential scan.
+
+    Per-record costs (inequality (2) of the paper): the AVL tree pays a
+    potential fault *per record*, the B+-tree one fault per
+    ``0.69 * p / L`` records.  Linear in ``|M|`` again.
+    """
+    s = avl_storage_pages(params)
+    s_prime = btree_storage_pages(params)
+    records_per_leaf = params.btree_fill * params.page_bytes / params.tuple_bytes
+
+    # Per-record DIFF(M) = btree - avl.
+    diff_at_zero = (params.z / records_per_leaf + 1.0) - (params.z + params.y)
+    slope = params.z * (1.0 / s - 1.0 / (records_per_leaf * s_prime))
+    if slope <= 0:
+        return 0.0 if diff_at_zero >= 0 else None
+    if diff_at_zero >= 0:
+        return 0.0
+    m_star = -diff_at_zero / slope
+    h_star = m_star / s
+    if h_star > 1.0:
+        full = (
+            params.z / records_per_leaf * (1.0 - s / s_prime) + 1.0
+        ) - params.y
+        return 1.0 if full >= 0 else None
+    return h_star
+
+
+def table1(
+    z_values: Sequence[float] = (10.0, 20.0, 30.0),
+    y_values: Sequence[float] = (0.5, 0.75, 0.9, 1.0),
+    base: Optional[AccessMethodParameters] = None,
+) -> List[Dict[str, float]]:
+    """Regenerate the paper's Table 1 over a (Z, Y) grid.
+
+    For each setting, report the minimum memory-resident fraction at which
+    the AVL tree beats the B+-tree for random and for sequential access.
+    The paper's headline -- AVL needs 80-90%+ residence -- is checked by the
+    Table 1 benchmark.
+    """
+    base = base or AccessMethodParameters()
+    rows: List[Dict[str, float]] = []
+    for z in z_values:
+        for y in y_values:
+            params = AccessMethodParameters(
+                n_tuples=base.n_tuples,
+                key_bytes=base.key_bytes,
+                tuple_bytes=base.tuple_bytes,
+                page_bytes=base.page_bytes,
+                pointer_bytes=base.pointer_bytes,
+                z=z,
+                y=y,
+                btree_fill=base.btree_fill,
+            )
+            random_h = random_breakeven_fraction(params)
+            seq_h = sequential_breakeven_fraction(params)
+            rows.append(
+                {
+                    "Z": z,
+                    "Y": y,
+                    "random_H": float("nan") if random_h is None else random_h,
+                    "sequential_H": float("nan") if seq_h is None else seq_h,
+                }
+            )
+    return rows
+
+
+__all__ = [
+    "AccessMethodParameters",
+    "avl_comparisons",
+    "avl_random_cost",
+    "avl_sequential_cost",
+    "avl_storage_pages",
+    "btree_comparisons",
+    "btree_fanout",
+    "btree_height",
+    "btree_leaf_pages",
+    "btree_random_cost",
+    "btree_sequential_cost",
+    "btree_storage_pages",
+    "random_breakeven_fraction",
+    "sequential_breakeven_fraction",
+    "table1",
+]

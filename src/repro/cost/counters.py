@@ -1,0 +1,182 @@
+"""Run-time operation counters -- the instrumentation behind every benchmark.
+
+The paper's evaluation charges algorithms per primitive operation and then
+weights the tallies with the Table 2 machine constants.  Re-running that
+methodology in Python requires exactly one piece of infrastructure: a
+counter object that the executable algorithms increment as they compare,
+hash, move, swap, and perform IO.  Multiplying a counter vector by a
+:class:`~repro.cost.parameters.CostParameters` yields the same "seconds" the
+paper plots, independent of interpreter speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cost.parameters import CostParameters
+
+
+@dataclass
+class OperationCounters:
+    """Mutable tally of the six primitive operations of Section 3.2.
+
+    The executable algorithms in :mod:`repro.join`, :mod:`repro.access` and
+    :mod:`repro.operators` accept one of these and increment it as they run.
+    Counters are plain integers; use :meth:`cost` to convert to modelled
+    seconds.
+    """
+
+    comparisons: int = 0
+    hashes: int = 0
+    moves: int = 0
+    swaps: int = 0
+    sequential_ios: int = 0
+    random_ios: int = 0
+
+    # -- increment helpers -------------------------------------------------
+
+    def compare(self, n: int = 1) -> None:
+        """Record ``n`` key comparisons."""
+        self.comparisons += n
+
+    def hash_key(self, n: int = 1) -> None:
+        """Record ``n`` key hashes."""
+        self.hashes += n
+
+    def move_tuple(self, n: int = 1) -> None:
+        """Record ``n`` tuple moves."""
+        self.moves += n
+
+    def swap_tuples(self, n: int = 1) -> None:
+        """Record ``n`` tuple swaps."""
+        self.swaps += n
+
+    def io_sequential(self, pages: int = 1) -> None:
+        """Record ``pages`` sequential page IOs."""
+        self.sequential_ios += pages
+
+    def io_random(self, pages: int = 1) -> None:
+        """Record ``pages`` random page IOs."""
+        self.random_ios += pages
+
+    # -- aggregation -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.comparisons = 0
+        self.hashes = 0
+        self.moves = 0
+        self.swaps = 0
+        self.sequential_ios = 0
+        self.random_ios = 0
+
+    def snapshot(self) -> "OperationCounters":
+        """Return an independent copy of the current tallies."""
+        return OperationCounters(
+            comparisons=self.comparisons,
+            hashes=self.hashes,
+            moves=self.moves,
+            swaps=self.swaps,
+            sequential_ios=self.sequential_ios,
+            random_ios=self.random_ios,
+        )
+
+    def __add__(self, other: "OperationCounters") -> "OperationCounters":
+        return OperationCounters(
+            comparisons=self.comparisons + other.comparisons,
+            hashes=self.hashes + other.hashes,
+            moves=self.moves + other.moves,
+            swaps=self.swaps + other.swaps,
+            sequential_ios=self.sequential_ios + other.sequential_ios,
+            random_ios=self.random_ios + other.random_ios,
+        )
+
+    def __sub__(self, other: "OperationCounters") -> "OperationCounters":
+        return OperationCounters(
+            comparisons=self.comparisons - other.comparisons,
+            hashes=self.hashes - other.hashes,
+            moves=self.moves - other.moves,
+            swaps=self.swaps - other.swaps,
+            sequential_ios=self.sequential_ios - other.sequential_ios,
+            random_ios=self.random_ios - other.random_ios,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """The tallies as a plain dict (for reports and tests)."""
+        return {
+            "comparisons": self.comparisons,
+            "hashes": self.hashes,
+            "moves": self.moves,
+            "swaps": self.swaps,
+            "sequential_ios": self.sequential_ios,
+            "random_ios": self.random_ios,
+        }
+
+    # -- costing -----------------------------------------------------------
+
+    def cpu_cost(self, params: CostParameters) -> float:
+        """Modelled CPU seconds under ``params``."""
+        return (
+            self.comparisons * params.comp
+            + self.hashes * params.hash
+            + self.moves * params.move
+            + self.swaps * params.swap
+        )
+
+    def io_cost(self, params: CostParameters) -> float:
+        """Modelled IO seconds under ``params``."""
+        return (
+            self.sequential_ios * params.io_seq
+            + self.random_ios * params.io_rand
+        )
+
+    def cost(self, params: CostParameters) -> float:
+        """Total modelled seconds (CPU + IO, no overlap, as in the paper)."""
+        return self.cpu_cost(params) + self.io_cost(params)
+
+    def report(self, params: CostParameters, label: str = "") -> "CostReport":
+        """Bundle tallies and modelled seconds into a :class:`CostReport`."""
+        return CostReport(
+            label=label,
+            counters=self.snapshot(),
+            cpu_seconds=self.cpu_cost(params),
+            io_seconds=self.io_cost(params),
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """An immutable costed summary of one algorithm execution."""
+
+    label: str
+    counters: OperationCounters
+    cpu_seconds: float
+    io_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """CPU + IO seconds, the quantity plotted in Figure 1."""
+        return self.cpu_seconds + self.io_seconds
+
+    def __str__(self) -> str:
+        c = self.counters
+        return (
+            "%s: %.2f s (cpu %.2f s, io %.2f s) "
+            "[comp=%d hash=%d move=%d swap=%d ioseq=%d iorand=%d]"
+            % (
+                self.label or "run",
+                self.total_seconds,
+                self.cpu_seconds,
+                self.io_seconds,
+                c.comparisons,
+                c.hashes,
+                c.moves,
+                c.swaps,
+                c.sequential_ios,
+                c.random_ios,
+            )
+        )
+
+
+__all__ = ["CostReport", "OperationCounters"]

@@ -1,0 +1,206 @@
+"""Machine and workload parameters from Section 3 of the paper.
+
+Table 2 of the paper fixes the per-primitive costs used by the analytic
+simulation of the four join algorithms; Table 3 gives the ranges over which
+the authors swept those parameters to check that the qualitative conclusions
+are robust.  Both are encoded here so every benchmark uses the published
+numbers by name rather than magic constants.
+
+All times are stored in **seconds** (the paper quotes microseconds and
+milliseconds; conversion happens once, here).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The machine/workload parameter set of the paper's Table 2.
+
+    Attributes mirror the paper's notation:
+
+    * ``comp``   -- time to compare two keys.
+    * ``hash``   -- time to hash a key.
+    * ``move``   -- time to move a tuple.
+    * ``swap``   -- time to swap two tuples.
+    * ``io_seq`` -- time for one sequential page IO.
+    * ``io_rand``-- time for one random page IO.
+    * ``fudge``  -- the universal "F" factor: a hash table or sort structure
+      for ``|R|`` pages of tuples occupies ``|R| * F`` pages.
+    * ``r_pages`` / ``s_pages`` -- sizes of the two join inputs in pages
+      (the paper requires ``|R| <= |S|``).
+    * ``r_tuples_per_page`` / ``s_tuples_per_page`` -- tuple densities.
+    """
+
+    comp: float = 3 * MICROSECOND
+    hash: float = 9 * MICROSECOND
+    move: float = 20 * MICROSECOND
+    swap: float = 60 * MICROSECOND
+    io_seq: float = 10 * MILLISECOND
+    io_rand: float = 25 * MILLISECOND
+    fudge: float = 1.2
+    r_pages: int = 10_000
+    s_pages: int = 10_000
+    r_tuples_per_page: int = 40
+    s_tuples_per_page: int = 40
+
+    def __post_init__(self) -> None:
+        if self.r_pages > self.s_pages:
+            raise ValueError(
+                "the paper assumes |R| <= |S|; got |R|=%d > |S|=%d"
+                % (self.r_pages, self.s_pages)
+            )
+        if self.fudge < 1.0:
+            raise ValueError("fudge factor F must be >= 1.0")
+        for name in ("comp", "hash", "move", "swap", "io_seq", "io_rand"):
+            if getattr(self, name) <= 0:
+                raise ValueError("%s must be positive" % name)
+        if self.r_tuples_per_page <= 0 or self.s_tuples_per_page <= 0:
+            raise ValueError("tuples per page must be positive")
+
+    @property
+    def r_tuples(self) -> int:
+        """``||R||`` -- the number of tuples in R."""
+        return self.r_pages * self.r_tuples_per_page
+
+    @property
+    def s_tuples(self) -> int:
+        """``||S||`` -- the number of tuples in S."""
+        return self.s_pages * self.s_tuples_per_page
+
+    @property
+    def minimum_memory_pages(self) -> int:
+        """The smallest ``|M|`` the two-pass algorithms tolerate.
+
+        The paper assumes ``sqrt(|S| * F) <= |M|`` so that sort-merge, GRACE
+        and hybrid hash never need a third pass.
+        """
+        return int((self.s_pages * self.fudge) ** 0.5) + 1
+
+    def memory_for_ratio(self, ratio: float) -> int:
+        """Convert Figure 1's x-axis ``|M| / (|R| * F)`` into pages."""
+        if ratio <= 0:
+            raise ValueError("memory ratio must be positive")
+        return max(1, int(round(ratio * self.r_pages * self.fudge)))
+
+    def with_updates(self, **changes: float) -> "CostParameters":
+        """Return a copy with some fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+
+#: The exact Table 2 of the paper.
+TABLE2_DEFAULTS = CostParameters()
+
+#: Table 3 of the paper -- the ranges swept to test robustness.  Each entry
+#: maps a :class:`CostParameters` field to the (low, high) endpoints the
+#: authors report, in seconds / pages / tuples as appropriate.
+TABLE3_RANGES: Dict[str, Tuple[float, float]] = {
+    "comp": (1 * MICROSECOND, 10 * MICROSECOND),
+    "hash": (2 * MICROSECOND, 50 * MICROSECOND),
+    "move": (10 * MICROSECOND, 50 * MICROSECOND),
+    "swap": (60 * MICROSECOND, 250 * MICROSECOND),
+    "io_seq": (5 * MILLISECOND, 10 * MILLISECOND),
+    "io_rand": (15 * MILLISECOND, 35 * MILLISECOND),
+    "fudge": (1.0, 1.4),
+    "s_pages": (10_000, 200_000),
+    "r_tuples": (100_000, 1_000_000),
+}
+
+
+def _swap_floor(comp: float, move: float) -> float:
+    """A swap can never be cheaper than three moves or one comparison."""
+    return max(3 * move, comp)
+
+
+def table3_grid(points_per_axis: int = 2) -> Iterator[CostParameters]:
+    """Yield :class:`CostParameters` over the Table 3 sweep lattice.
+
+    The paper reports scanning "the range of parameter values shown in
+    Table 3" and observing the same qualitative Figure 1 on each setting.
+    This generator enumerates the corners (``points_per_axis=2``) or a denser
+    lattice of that box.  ``r_tuples`` is realised by varying ``r_pages`` at
+    40 tuples/page, and ``|R| <= |S|`` is enforced by clamping.
+    """
+    if points_per_axis < 2:
+        raise ValueError("need at least the two endpoints per axis")
+
+    def axis(lo: float, hi: float) -> List[float]:
+        step = (hi - lo) / (points_per_axis - 1)
+        return [lo + i * step for i in range(points_per_axis)]
+
+    comps = axis(*TABLE3_RANGES["comp"])
+    hashes = axis(*TABLE3_RANGES["hash"])
+    moves = axis(*TABLE3_RANGES["move"])
+    io_seqs = axis(*TABLE3_RANGES["io_seq"])
+    io_rands = axis(*TABLE3_RANGES["io_rand"])
+    fudges = axis(*TABLE3_RANGES["fudge"])
+    s_sizes = axis(*TABLE3_RANGES["s_pages"])
+    r_tuple_counts = axis(*TABLE3_RANGES["r_tuples"])
+
+    for comp, hsh, move, io_seq, io_rand, fudge, s_pg, r_tup in itertools.product(
+        comps, hashes, moves, io_seqs, io_rands, fudges, s_sizes, r_tuple_counts
+    ):
+        r_pages = max(1, int(r_tup) // 40)
+        s_pages = max(int(s_pg), r_pages)
+        yield CostParameters(
+            comp=comp,
+            hash=hsh,
+            move=move,
+            swap=_swap_floor(comp, move),
+            io_seq=io_seq,
+            io_rand=max(io_rand, io_seq),
+            fudge=fudge,
+            r_pages=r_pages,
+            s_pages=s_pages,
+        )
+
+
+def table3_sample(count: int, seed: int = 1984) -> List[CostParameters]:
+    """A reproducible pseudo-random sample of the Table 3 box.
+
+    The full corner lattice is ``2**8`` points; benchmarks that want a
+    smaller but still representative sweep use this sampler.
+    """
+    import random
+
+    rng = random.Random(seed)
+    sample: List[CostParameters] = []
+    for _ in range(count):
+        comp = rng.uniform(*TABLE3_RANGES["comp"])
+        move = rng.uniform(*TABLE3_RANGES["move"])
+        io_seq = rng.uniform(*TABLE3_RANGES["io_seq"])
+        r_tuples = rng.uniform(*TABLE3_RANGES["r_tuples"])
+        r_pages = max(1, int(r_tuples) // 40)
+        s_pages = max(int(rng.uniform(*TABLE3_RANGES["s_pages"])), r_pages)
+        sample.append(
+            CostParameters(
+                comp=comp,
+                hash=rng.uniform(*TABLE3_RANGES["hash"]),
+                move=move,
+                swap=rng.uniform(max(3 * move, 60e-6), 250e-6),
+                io_seq=io_seq,
+                io_rand=max(rng.uniform(*TABLE3_RANGES["io_rand"]), io_seq),
+                fudge=rng.uniform(*TABLE3_RANGES["fudge"]),
+                r_pages=r_pages,
+                s_pages=s_pages,
+            )
+        )
+    return sample
+
+
+__all__ = [
+    "CostParameters",
+    "MICROSECOND",
+    "MILLISECOND",
+    "TABLE2_DEFAULTS",
+    "TABLE3_RANGES",
+    "table3_grid",
+    "table3_sample",
+]

@@ -1,0 +1,47 @@
+"""Executable implementations of the paper's four join algorithms.
+
+Each algorithm really runs -- building hash tables, forming sorted runs,
+spilling partitions through a :class:`~repro.storage.disk.SimulatedDisk` --
+while charging comparisons / hashes / moves / swaps / IOs to shared
+:class:`~repro.cost.counters.OperationCounters`.  Weighting the counters
+with Table 2 reproduces the paper's Figure 1 from *measured* operation
+counts rather than closed-form formulas (the formulas live in
+:mod:`repro.cost.join_model`; benchmark E5 compares the two).
+
+* :class:`~repro.join.nested_loops.NestedLoopsJoin` -- the classical
+  baseline the paper's hash algorithms displace.
+* :class:`~repro.join.sort_merge.SortMergeJoin` -- Section 3.4.
+* :class:`~repro.join.simple_hash.SimpleHashJoin` -- Section 3.5.
+* :class:`~repro.join.grace_hash.GraceHashJoin` -- Section 3.6.
+* :class:`~repro.join.hybrid_hash.HybridHashJoin` -- Section 3.7.
+"""
+
+from repro.join.base import JoinAlgorithm, JoinResult, JoinSpec
+from repro.join.grace_hash import GraceHashJoin
+from repro.join.hybrid_hash import HybridHashJoin
+from repro.join.nested_loops import NestedLoopsJoin
+from repro.join.partition import partition_relation, partition_fan_out
+from repro.join.simple_hash import SimpleHashJoin
+from repro.join.sort_merge import SortMergeJoin
+
+ALL_JOINS = {
+    "nested-loops": NestedLoopsJoin,
+    "sort-merge": SortMergeJoin,
+    "simple-hash": SimpleHashJoin,
+    "grace-hash": GraceHashJoin,
+    "hybrid-hash": HybridHashJoin,
+}
+
+__all__ = [
+    "ALL_JOINS",
+    "GraceHashJoin",
+    "HybridHashJoin",
+    "JoinAlgorithm",
+    "JoinResult",
+    "JoinSpec",
+    "NestedLoopsJoin",
+    "SimpleHashJoin",
+    "SortMergeJoin",
+    "partition_fan_out",
+    "partition_relation",
+]

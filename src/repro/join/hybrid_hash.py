@@ -1,0 +1,184 @@
+"""Hybrid hash join -- Section 3.7, the paper's new algorithm.
+
+Hybrid hash is GRACE with the leftover memory put to work: memory holds the
+``B`` output buffers *plus* a live hash table for bucket R0 covering the
+fraction ``q = (|M| - B) / (|R|*F)`` of R.  R0 tuples never touch disk, and
+S0 tuples probe the resident table during partitioning.  Only the ``1-q``
+spilled remainder pays IO and a second hashing pass, so the algorithm
+interpolates smoothly between GRACE (``q -> 0``) and the one-pass simple
+hash (``q = 1``), dominating both across Figure 1.
+
+The partitioning function splits the hash-value space *unevenly*: a ``q``
+share to the resident class, the rest evenly over the B spill buckets --
+the Section 3.3 construction of a partition compatible with ``h``.
+
+Skew handling follows Section 3.3's remedy: "if we err slightly we can
+always apply the hybrid hash join recursively, thereby adding an extra pass
+for the overflow tuples."  When a spilled R-bucket's hash table would
+exceed the memory grant, the bucket pair is re-joined recursively with a
+depth-salted hash, so pathological key distributions degrade gracefully
+instead of overflowing memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.access.hash_index import HashIndex
+from repro.join.base import JoinAlgorithm, JoinSpec
+from repro.join.partition import (
+    SpillWriter,
+    partition_fan_out,
+    partition_hash,
+    read_bucket,
+)
+from repro.storage.relation import Relation, Row
+
+#: Resolution of the hash-value space split between R0 and the spill
+#: buckets (Section 3.3: partition the set of hash values, not the tuples).
+_HASH_SPACE = 1 << 20
+
+
+class HybridHashJoin(JoinAlgorithm):
+    """Partitioned hash join with a memory-resident first bucket."""
+
+    name = "hybrid-hash"
+
+    #: Recursion backstop: 2 levels handle |R| up to ~|M|^3 / F pages;
+    #: deeper than 8 means the partitioning hash has failed entirely.
+    MAX_RECURSION = 8
+
+    def _classify(
+        self, key: Any, q: float, buckets: int, depth: int = 0
+    ) -> int:
+        """Class of ``key``: 0 = resident, 1..B = spill buckets.
+
+        The hash is salted with ``depth`` so a recursive re-partition of
+        an overflowing bucket actually splits it.
+        """
+        u = (partition_hash((depth, key)) % _HASH_SPACE) / _HASH_SPACE
+        if u < q or buckets == 0:
+            return 0
+        return 1 + min(buckets - 1, int((u - q) / (1.0 - q) * buckets))
+
+    def _execute(self, spec: JoinSpec, output: Relation) -> None:
+        self._execute_level(spec, output, depth=0)
+
+    def _execute_level(
+        self, spec: JoinSpec, output: Relation, depth: int
+    ) -> None:
+        params = spec.params
+        buckets, q = partition_fan_out(
+            spec.r.page_count, spec.memory_pages, params.fudge
+        )
+        r_key, s_key = spec.r_key, spec.s_key
+
+        resident = HashIndex(self.counters, max_load=params.fudge)
+
+        # ---- Phase 1a: partition R, building R0's table on the fly. ----
+        r_writer = None
+        if buckets > 0:
+            r_files = [
+                "%s.d%d.%d" % (self.scratch_name(spec, "r"), depth, i)
+                for i in range(buckets)
+            ]
+            r_writer = SpillWriter(
+                self.disk, r_files, spec.r.tuples_per_page, self.counters
+            )
+        for row in spec.r:
+            cls = self._classify(r_key(row), q, buckets, depth)
+            if cls == 0:
+                # insert() charges the hash and the move into the table.
+                resident.insert(r_key(row), row)
+            else:
+                self.counters.hash_key()
+                r_writer.write(cls - 1, row)
+
+        # ---- Phase 1b: partition S, probing R0 on the fly. ----
+        s_writer = None
+        if buckets > 0:
+            s_files = [
+                "%s.d%d.%d" % (self.scratch_name(spec, "s"), depth, i)
+                for i in range(buckets)
+            ]
+            s_writer = SpillWriter(
+                self.disk, s_files, spec.s.tuples_per_page, self.counters
+            )
+        for row in spec.s:
+            cls = self._classify(s_key(row), q, buckets, depth)
+            if cls == 0:
+                for r_row in resident.probe(s_key(row)):
+                    self.emit(output, r_row, row)
+            else:
+                self.counters.hash_key()
+                s_writer.write(cls - 1, row)
+
+        if buckets == 0:
+            return
+        r_files = r_writer.close()
+        s_files = s_writer.close()
+
+        # ---- Phase 2: join the spilled bucket pairs. ----
+        bucket_capacity = spec.memory_tuples(spec.r.tuples_per_page)
+        for r_file, s_file in zip(r_files, s_files):
+            r_rows = read_bucket(self.disk, r_file)
+            s_rows = read_bucket(self.disk, s_file)
+            self.disk.delete(r_file)
+            self.disk.delete(s_file)
+
+            if len(r_rows) > bucket_capacity and depth < self.MAX_RECURSION:
+                # Section 3.3's overflow remedy: recurse on this bucket
+                # pair with a fresh (depth-salted) partitioning -- but only
+                # when partitioning can actually split it.  A bucket
+                # dominated by one key is indivisible; repartitioning it
+                # just rewrites the same rows, so it is processed directly
+                # (the hash table runs over its budget, the honest cost of
+                # an unsplittable hot key).
+                if len({r_key(row) for row in r_rows}) > 1:
+                    self._recurse_on_bucket(spec, output, r_rows, s_rows, depth)
+                    continue
+
+            table = HashIndex(self.counters, max_load=params.fudge)
+            for row in r_rows:
+                table.insert(r_key(row), row)
+            for row in s_rows:
+                for r_row in table.probe(s_key(row)):
+                    self.emit(output, r_row, row)
+
+    def _recurse_on_bucket(
+        self,
+        spec: JoinSpec,
+        output: Relation,
+        r_rows: List[Row],
+        s_rows: List[Row],
+        depth: int,
+    ) -> None:
+        """Re-join one overflowing bucket pair one level deeper."""
+        sub_r = Relation(
+            "%s~%d" % (spec.r.name, depth + 1), spec.r.schema, spec.r.page_bytes
+        )
+        for row in r_rows:
+            sub_r.insert_unchecked(row)
+        sub_s = Relation(
+            "%s~%d" % (spec.s.name, depth + 1), spec.s.schema, spec.s.page_bytes
+        )
+        for row in s_rows:
+            sub_s.insert_unchecked(row)
+        sub_spec = JoinSpec(
+            r=sub_r,
+            s=sub_s,
+            r_field=spec.r_field,
+            s_field=spec.s_field,
+            memory_pages=spec.memory_pages,
+            params=spec.params,
+        )
+        # The sub-spec may have swapped sides if the bucket's S slice is
+        # the smaller one; keep the original orientation so emitted rows
+        # stay (R, S)-ordered.
+        if sub_spec.r is not sub_r:
+            sub_spec.r, sub_spec.s = sub_r, sub_s
+            sub_spec.r_field, sub_spec.s_field = spec.r_field, spec.s_field
+        self._execute_level(sub_spec, output, depth + 1)
+
+
+__all__ = ["HybridHashJoin"]

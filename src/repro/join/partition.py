@@ -1,0 +1,164 @@
+"""Hash partitioning of relations -- Section 3.3 of the paper.
+
+"A general way to create a partition of R compatible with h is to partition
+the set of hash values X that h can assume into subsets X1..Xn" -- here the
+hash-value space is the integers and the subsets are residue classes of a
+salted hash, so partitioning R and S with the same function reduces the big
+join to bucket-wise joins.
+
+Spilled buckets stage through one output-buffer page each (that is where
+the GRACE/hybrid fan-out limit ``B < |M|`` comes from), and flushing a
+buffer is a *random* IO unless there is only one spill bucket -- the source
+of the hybrid discontinuity in Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.cost.counters import OperationCounters
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+from repro.storage.relation import Relation, Row
+
+#: Salt so partition hashing is independent of Python's string hashing and
+#: of the bucket hashing inside HashIndex.
+_PARTITION_SALT = 0x5DB5
+
+
+def partition_hash(key: Any) -> int:
+    """The shared partitioning function ``h`` (deterministic per run)."""
+    return hash((_PARTITION_SALT, key))
+
+
+def partition_fan_out(
+    r_pages: int, memory_pages: int, fudge: float
+) -> Tuple[int, float]:
+    """The hybrid partition plan ``(B, q)`` of Section 3.7.
+
+    ``B`` spill buckets plus an in-memory hash table for the resident
+    bucket R0 covering fraction ``q`` of R.  ``B == 0`` when R fits.
+    """
+    table_pages = r_pages * fudge
+    if table_pages <= memory_pages:
+        return 0, 1.0
+    if memory_pages < 2:
+        raise ValueError("partitioning needs at least two pages of memory")
+    b = math.ceil((table_pages - memory_pages) / (memory_pages - 1))
+    q = max(0.0, (memory_pages - b) / table_pages)
+    return b, q
+
+
+class SpillWriter:
+    """Per-bucket output buffering with the paper's IO accounting."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        file_names: Sequence[str],
+        tuples_per_page: int,
+        counters: OperationCounters,
+    ) -> None:
+        self.disk = disk
+        self.file_names = list(file_names)
+        self.tuples_per_page = tuples_per_page
+        self.counters = counters
+        self._buffers: List[List[Row]] = [[] for _ in file_names]
+        self._single_bucket = len(file_names) == 1
+        for name in self.file_names:
+            if disk.exists(name):
+                disk.delete(name)
+            disk.create(name)
+
+    def write(self, bucket: int, row: Row) -> None:
+        """Buffer ``row`` for ``bucket``, flushing a full page to disk."""
+        self.counters.move_tuple()
+        buf = self._buffers[bucket]
+        buf.append(row)
+        if len(buf) >= self.tuples_per_page:
+            self._flush(bucket)
+
+    def _flush(self, bucket: int) -> None:
+        buf = self._buffers[bucket]
+        if not buf:
+            return
+        page = Page(0, self.tuples_per_page)
+        for row in buf:
+            page.add(row)
+        # One spill bucket => the file grows contiguously (sequential);
+        # many buckets => the disk head jumps between them (random).
+        self.disk.append(
+            self.file_names[bucket], page, sequential=self._single_bucket
+        )
+        buf.clear()
+
+    def close(self) -> List[str]:
+        """Flush every partial buffer; return the bucket file names."""
+        for bucket in range(len(self._buffers)):
+            self._flush(bucket)
+        return self.file_names
+
+
+def partition_relation(
+    relation: Relation,
+    key: Callable[[Row], Any],
+    buckets: int,
+    disk: SimulatedDisk,
+    counters: OperationCounters,
+    file_prefix: str,
+    resident_bucket: bool = False,
+    on_resident: Optional[Callable[[Any, Row], None]] = None,
+) -> List[str]:
+    """Partition ``relation`` into ``buckets`` spill files by hash.
+
+    With ``resident_bucket=True`` (hybrid hash), tuples whose hash lands on
+    residue 0 are *not* spilled: they are handed to ``on_resident`` (which
+    builds the in-memory hash table for R0 or probes it for S0) and the
+    remaining residues map to the ``buckets`` spill files.
+
+    Each tuple is charged one ``hash``; spilled tuples additionally charge
+    one ``move`` into the output buffer (inside :class:`SpillWriter`).
+    Returns the spill file names (empty when everything stayed resident).
+    """
+    if buckets < 0:
+        raise ValueError("bucket count cannot be negative")
+    total_classes = buckets + (1 if resident_bucket else 0)
+    if total_classes == 0:
+        raise ValueError("partitioning into zero classes")
+
+    writer: Optional[SpillWriter] = None
+    if buckets > 0:
+        names = ["%s.%d" % (file_prefix, i) for i in range(buckets)]
+        writer = SpillWriter(disk, names, relation.tuples_per_page, counters)
+
+    for row in relation:
+        counters.hash_key()
+        residue = partition_hash(key(row)) % total_classes
+        if resident_bucket and residue == 0:
+            assert on_resident is not None, "resident bucket needs a consumer"
+            on_resident(key(row), row)
+        else:
+            assert writer is not None
+            writer.write(residue - (1 if resident_bucket else 0), row)
+
+    return writer.close() if writer is not None else []
+
+
+def read_bucket(
+    disk: SimulatedDisk, file_name: str
+) -> List[Row]:
+    """Read a spilled bucket back (sequential IO, charged via the disk)."""
+    rows: List[Row] = []
+    for page in disk.scan(file_name):
+        rows.extend(page.tuples)
+    return rows
+
+
+__all__ = [
+    "SpillWriter",
+    "partition_fan_out",
+    "partition_hash",
+    "partition_relation",
+    "read_bucket",
+]

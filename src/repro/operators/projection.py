@@ -1,0 +1,84 @@
+"""Projection, with and without duplicate elimination -- Section 3.9.
+
+"Projection with duplicate elimination is very similar in nature to the
+aggregate function operation (in projection we are grouping identical
+tuples)" -- so :func:`hash_project` delegates its distinct path to the
+hash-aggregation engine with the projected columns as the grouping key and
+no aggregates, inheriting the same one-pass / hybrid-overflow behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cost.counters import OperationCounters
+from repro.operators.aggregate import hash_aggregate, sort_aggregate
+from repro.storage.disk import SimulatedDisk
+from repro.storage.relation import Relation
+
+
+def _plain_project(
+    relation: Relation,
+    columns: Sequence[str],
+    counters: OperationCounters,
+    output_name: Optional[str],
+) -> Relation:
+    out = Relation(
+        output_name or ("project(%s)" % relation.name),
+        relation.schema.project(list(columns)),
+        relation.page_bytes,
+    )
+    indexes = [relation.schema.index_of(c) for c in columns]
+    for row in relation:
+        counters.move_tuple()
+        out.insert_unchecked(tuple(row[i] for i in indexes))
+    return out
+
+
+def hash_project(
+    relation: Relation,
+    columns: Sequence[str],
+    distinct: bool = True,
+    counters: Optional[OperationCounters] = None,
+    memory_pages: Optional[int] = None,
+    fudge: float = 1.2,
+    disk: Optional[SimulatedDisk] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """Project onto ``columns``; hash-deduplicate when ``distinct``."""
+    counters = counters if counters is not None else OperationCounters()
+    if not distinct:
+        return _plain_project(relation, columns, counters, output_name)
+    return hash_aggregate(
+        relation,
+        group_by=list(columns),
+        aggregates=[],
+        counters=counters,
+        memory_pages=memory_pages,
+        fudge=fudge,
+        disk=disk,
+        output_name=output_name or ("project(%s)" % relation.name),
+    )
+
+
+def sort_project(
+    relation: Relation,
+    columns: Sequence[str],
+    distinct: bool = True,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """Sort-based projection baseline (duplicates collapse after sorting)."""
+    counters = counters if counters is not None else OperationCounters()
+    if not distinct:
+        return _plain_project(relation, columns, counters, output_name)
+    return sort_aggregate(
+        relation,
+        group_by=list(columns),
+        aggregates=[],
+        counters=counters,
+        output_name=output_name or ("project(%s)" % relation.name),
+    )
+
+
+__all__ = ["hash_project", "sort_project"]

@@ -1,0 +1,224 @@
+"""Cross product, division, and set operators -- the rest of Section 3.9.
+
+"Many of the techniques used for executing the relational join operator can
+also be used for other relational operators (e.g. aggregate functions,
+cross product, and division)."  This module supplies those remaining
+operators with the same hash-first design and counter instrumentation:
+
+* :func:`cross_product` -- the degenerate join (every pair matches).
+* :func:`divide` -- relational division ``R(x, y) / S(y)``: the x-values
+  related to *every* y in S.  Implemented as hash grouping on x with a
+  counting check against a hash set of S -- one pass over each input,
+  exactly the aggregation pattern the paper recommends.
+* :func:`union_`, :func:`intersect`, :func:`difference` -- set operators
+  over union-compatible relations, via hash-based duplicate handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cost.counters import OperationCounters
+from repro.storage.relation import Relation, Row
+from repro.storage.tuples import Schema
+
+
+def _require_compatible(a: Relation, b: Relation, op: str) -> None:
+    if len(a.schema) != len(b.schema) or any(
+        fa.dtype is not fb.dtype
+        for fa, fb in zip(a.schema.fields, b.schema.fields)
+    ):
+        raise ValueError(
+            "%s requires union-compatible schemas; got %r and %r"
+            % (op, a.schema, b.schema)
+        )
+
+
+def cross_product(
+    r: Relation,
+    s: Relation,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """``R x S`` -- every pairing, charged one move per output tuple."""
+    counters = counters if counters is not None else OperationCounters()
+    clash = set(r.schema.names) & set(s.schema.names)
+    schema = (
+        r.schema.concat(s.schema, "r_", "s_") if clash else r.schema.concat(s.schema)
+    )
+    out = Relation(
+        output_name or ("product(%s,%s)" % (r.name, s.name)),
+        schema,
+        max(r.page_bytes, schema.tuple_bytes),
+    )
+    for r_row in r:
+        for s_row in s:
+            counters.move_tuple()
+            out.insert_unchecked(r_row + s_row)
+    return out
+
+
+def divide(
+    r: Relation,
+    divisor: Relation,
+    r_group: Sequence[str],
+    r_attr: Sequence[str],
+    divisor_attr: Optional[Sequence[str]] = None,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """Relational division: group values related to every divisor tuple.
+
+    ``r_group`` are the dividend's result columns (the paper's "x"),
+    ``r_attr`` the columns matched against the divisor (the "y");
+    ``divisor_attr`` defaults to the divisor's full schema.
+
+    Hash-based, two passes, no sorting: build a hash set of the divisor,
+    then for each x-group count the *distinct* divisor members it covers;
+    emit the groups covering all of them.  Example -- "suppliers who supply
+    every part": ``divide(supplies, parts, ["supplier"], ["part"])``.
+    """
+    counters = counters if counters is not None else OperationCounters()
+    if divisor_attr is None:
+        divisor_attr = divisor.schema.names
+    if len(r_attr) != len(divisor_attr):
+        raise ValueError("dividend/divisor attribute lists differ in length")
+    if not r_group:
+        raise ValueError("division needs at least one result column")
+
+    group_idx = [r.schema.index_of(c) for c in r_group]
+    attr_idx = [r.schema.index_of(c) for c in r_attr]
+    div_idx = [divisor.schema.index_of(c) for c in divisor_attr]
+
+    # Pass 1: hash the divisor into a set.
+    required: Set[Tuple[Any, ...]] = set()
+    for row in divisor:
+        counters.hash_key()
+        required.add(tuple(row[i] for i in div_idx))
+
+    out = Relation(
+        output_name or ("divide(%s,%s)" % (r.name, divisor.name)),
+        r.schema.project(list(r_group)),
+        r.page_bytes,
+    )
+    if not required:
+        # X / {} is all x-values by convention (vacuous universality).
+        seen_groups: Set[Tuple[Any, ...]] = set()
+        for row in r:
+            counters.hash_key()
+            key = tuple(row[i] for i in group_idx)
+            if key not in seen_groups:
+                seen_groups.add(key)
+                out.insert_unchecked(key)
+        return out
+
+    # Pass 2: per x-group, collect which required members are covered.
+    covered: Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]] = {}
+    for row in r:
+        counters.hash_key()
+        counters.compare()
+        member = tuple(row[i] for i in attr_idx)
+        if member not in required:
+            continue
+        key = tuple(row[i] for i in group_idx)
+        covered.setdefault(key, set()).add(member)
+
+    for key, members in covered.items():
+        counters.compare()
+        if len(members) == len(required):
+            out.insert_unchecked(key)
+    return out
+
+
+def union_(
+    a: Relation,
+    b: Relation,
+    distinct: bool = True,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """``A UNION B`` (hash-deduplicated) or ``UNION ALL``."""
+    counters = counters if counters is not None else OperationCounters()
+    _require_compatible(a, b, "union")
+    out = Relation(
+        output_name or ("union(%s,%s)" % (a.name, b.name)),
+        a.schema,
+        a.page_bytes,
+    )
+    if not distinct:
+        for row in a:
+            counters.move_tuple()
+            out.insert_unchecked(row)
+        for row in b:
+            counters.move_tuple()
+            out.insert_unchecked(row)
+        return out
+    seen: Set[Row] = set()
+    for source in (a, b):
+        for row in source:
+            counters.hash_key()
+            if row not in seen:
+                seen.add(row)
+                out.insert_unchecked(row)
+    return out
+
+
+def intersect(
+    a: Relation,
+    b: Relation,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """``A INTERSECT B`` (set semantics): hash the smaller, probe the
+    larger -- the simple-hash pattern."""
+    counters = counters if counters is not None else OperationCounters()
+    _require_compatible(a, b, "intersect")
+    build, probe = (a, b) if a.cardinality <= b.cardinality else (b, a)
+    table: Set[Row] = set()
+    for row in build:
+        counters.hash_key()
+        table.add(row)
+    out = Relation(
+        output_name or ("intersect(%s,%s)" % (a.name, b.name)),
+        a.schema,
+        a.page_bytes,
+    )
+    emitted: Set[Row] = set()
+    for row in probe:
+        counters.hash_key()
+        counters.compare()
+        if row in table and row not in emitted:
+            emitted.add(row)
+            out.insert_unchecked(row)
+    return out
+
+
+def difference(
+    a: Relation,
+    b: Relation,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """``A EXCEPT B`` (set semantics): hash B, anti-probe with A."""
+    counters = counters if counters is not None else OperationCounters()
+    _require_compatible(a, b, "difference")
+    table: Set[Row] = set()
+    for row in b:
+        counters.hash_key()
+        table.add(row)
+    out = Relation(
+        output_name or ("except(%s,%s)" % (a.name, b.name)),
+        a.schema,
+        a.page_bytes,
+    )
+    emitted: Set[Row] = set()
+    for row in a:
+        counters.hash_key()
+        counters.compare()
+        if row not in table and row not in emitted:
+            emitted.add(row)
+            out.insert_unchecked(row)
+    return out
+
+
+__all__ = ["cross_product", "difference", "divide", "intersect", "union_"]

@@ -1,0 +1,253 @@
+"""Selection: predicates and the scan / index-assisted operators.
+
+Predicates form a small combinator algebra (:class:`Comparison` leaves with
+``And`` / ``Or`` / ``Not``) so the Section 4 planner can inspect them for
+selectivity estimation and index eligibility, rather than being handed an
+opaque Python callable.
+"""
+
+from __future__ import annotations
+
+import abc
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.access.interface import Index
+from repro.cost.counters import OperationCounters
+from repro.storage.relation import Relation, Row
+from repro.storage.tuples import Schema
+
+_OPS: dict = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate(abc.ABC):
+    """A boolean condition over one tuple of a known schema."""
+
+    @abc.abstractmethod
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        """Whether ``row`` satisfies the predicate."""
+
+    @abc.abstractmethod
+    def comparisons(self) -> int:
+        """Key comparisons one evaluation charges (for the cost model)."""
+
+    def columns(self) -> List[str]:
+        """Column names the predicate references."""
+        return []
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> constant`` for op in =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError("unknown comparison operator %r" % self.op)
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return _OPS[self.op](row[schema.index_of(self.column)], self.value)
+
+    def comparisons(self) -> int:
+        return 1
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+
+@dataclass(frozen=True)
+class Prefix(Predicate):
+    """``column = "J*"`` -- the paper's Section 2 sequential-access query.
+
+    Matches string values starting with ``prefix``.  Served by an ordered
+    index as the range ``[prefix, prefix + chr(max))``, which is exactly
+    the "locate the first employee with a name beginning with J and then
+    read sequentially" plan the paper analyses.
+    """
+
+    column: str
+    prefix: str
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise ValueError("empty prefix matches everything; use no "
+                             "predicate instead")
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        value = row[schema.index_of(self.column)]
+        return isinstance(value, str) and value.startswith(self.prefix)
+
+    def comparisons(self) -> int:
+        return 1
+
+    def columns(self) -> List[str]:
+        return [self.column]
+
+    @property
+    def range_bounds(self) -> Tuple[str, str]:
+        """Half-open key range equivalent to the prefix match."""
+        return self.prefix, self.prefix + chr(0x10FFFF)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) and self.right.evaluate(schema, row)
+
+    def comparisons(self) -> int:
+        return self.left.comparisons() + self.right.comparisons()
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) or self.right.evaluate(schema, row)
+
+    def comparisons(self) -> int:
+        return self.left.comparisons() + self.right.comparisons()
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, schema: Schema, row: Row) -> bool:
+        return not self.inner.evaluate(schema, row)
+
+    def comparisons(self) -> int:
+        return self.inner.comparisons()
+
+    def columns(self) -> List[str]:
+        return self.inner.columns()
+
+
+def select(
+    relation: Relation,
+    predicate: Predicate,
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """Full-scan selection, charging the predicate's comparisons per tuple."""
+    counters = counters if counters is not None else OperationCounters()
+    out = Relation(
+        output_name or ("select(%s)" % relation.name),
+        relation.schema,
+        relation.page_bytes,
+    )
+    per_tuple = predicate.comparisons()
+    for row in relation:
+        counters.compare(per_tuple)
+        if predicate.evaluate(relation.schema, row):
+            out.insert_unchecked(row)
+    return out
+
+
+def select_via_index(
+    relation: Relation,
+    index: Index,
+    predicate: "Union[Comparison, Prefix]",
+    counters: Optional[OperationCounters] = None,
+    output_name: Optional[str] = None,
+) -> Relation:
+    """Index-assisted selection for equality, range, and prefix predicates.
+
+    The index stores TIDs into ``relation``; equality uses a point lookup,
+    ranges and prefixes use
+    :meth:`~repro.access.interface.Index.range_scan` when the index is
+    ordered.  This is the paper's Section 2 access path -- both the
+    ``emp.name = "Jones"`` and the ``emp.name = "J*"`` queries go through
+    here.
+    """
+    counters = counters if counters is not None else OperationCounters()
+    out = Relation(
+        output_name or ("select(%s)" % relation.name),
+        relation.schema,
+        relation.page_bytes,
+    )
+    if isinstance(predicate, Prefix):
+        if not index.supports_range_scan:
+            raise ValueError(
+                "prefix predicates need an ordered index on %r"
+                % predicate.column
+            )
+        low, high = predicate.range_bounds
+        for _key, tid in index.range_scan(low, high):
+            counters.compare()
+            counters.move_tuple()  # TID dereference
+            out.insert_unchecked(relation.fetch(tid))
+        return out
+    if predicate.is_equality:
+        for tid in index.search(predicate.value):
+            counters.move_tuple()  # TID dereference
+            out.insert_unchecked(relation.fetch(tid))
+        return out
+    if not index.supports_range_scan:
+        raise ValueError(
+            "index on %r cannot serve a %r predicate; hash indexes only "
+            "support equality" % (predicate.column, predicate.op)
+        )
+    low = high = None
+    if predicate.op in (">", ">="):
+        low = predicate.value
+    elif predicate.op in ("<", "<="):
+        high = predicate.value
+    else:
+        raise ValueError("operator %r cannot use an index" % predicate.op)
+    for key, tid in index.range_scan(low, high):
+        # Open endpoints: drop the boundary key itself.
+        if predicate.op == ">" and key == predicate.value:
+            continue
+        if predicate.op == "<" and key == predicate.value:
+            continue
+        counters.compare()
+        counters.move_tuple()  # TID dereference
+        out.insert_unchecked(relation.fetch(tid))
+    return out
+
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Not",
+    "Or",
+    "Predicate",
+    "Prefix",
+    "select",
+    "select_via_index",
+]

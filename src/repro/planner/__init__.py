@@ -1,0 +1,54 @@
+"""Access planning and query optimization -- Section 4 of the paper.
+
+Selinger-style optimization minimizes ``W * CPU + IO`` over operator
+orderings, algorithms, and access paths.  The paper's observation is that
+large memory collapses most of that search space: hash-based algorithms are
+fastest for join / aggregate / projection, their cost does not depend on
+input order, so "query optimization is reduced to simply ordering the
+operators so that the most selective operations are pushed towards the
+bottom of the query tree".
+
+This package implements both sides of that argument:
+
+* :mod:`repro.planner.query` -- the logical query description.
+* :mod:`repro.planner.selectivity` -- Selinger-style selectivity estimates
+  from catalog statistics.
+* :mod:`repro.planner.plan` -- executable physical plan nodes with
+  ``W * CPU + IO`` cost estimates.
+* :mod:`repro.planner.planner` -- the optimizer: selection pushdown,
+  greedy most-selective-first join ordering, cost-based join algorithm and
+  access-path choice (which, with large memory, always lands on hashing).
+"""
+
+from repro.planner.plan import (
+    AggregateNode,
+    FilterNode,
+    IndexScanNode,
+    JoinNode,
+    PlanContext,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.planner.planner import Planner, PlannerConfig
+from repro.planner.query import JoinClause, Query
+from repro.planner.selectivity import estimate_selectivity
+from repro.planner.sql import SqlError, parse_sql
+
+__all__ = [
+    "AggregateNode",
+    "FilterNode",
+    "IndexScanNode",
+    "JoinClause",
+    "JoinNode",
+    "PlanContext",
+    "PlanNode",
+    "Planner",
+    "PlannerConfig",
+    "ProjectNode",
+    "Query",
+    "ScanNode",
+    "SqlError",
+    "estimate_selectivity",
+    "parse_sql",
+]

@@ -1,0 +1,96 @@
+"""Logical query description consumed by the planner.
+
+A :class:`Query` is a conjunctive select-project-join block with optional
+grouping -- the fragment Section 4 discusses: base tables, per-table
+selection predicates, equijoin clauses, and a final projection or
+aggregation.  It carries no physical choices; those belong to the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.operators.aggregate import AggregateSpec
+from repro.operators.selection import Predicate
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An equijoin ``left.column = right.column`` between two tables."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def involves(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError("%r is not part of this join clause" % table)
+
+    def column_of(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise ValueError("%r is not part of this join clause" % table)
+
+    def __str__(self) -> str:
+        return "%s.%s = %s.%s" % (
+            self.left_table,
+            self.left_column,
+            self.right_table,
+            self.right_column,
+        )
+
+
+@dataclass
+class Query:
+    """A select-project-join(-aggregate) query over named catalog tables."""
+
+    tables: List[str]
+    predicates: List[Tuple[str, Predicate]] = field(default_factory=list)
+    joins: List[JoinClause] = field(default_factory=list)
+    projection: Optional[List[str]] = None
+    distinct: bool = False
+    group_by: List[str] = field(default_factory=list)
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a query references at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("self-joins need distinct aliases; duplicate "
+                             "table in %r" % (self.tables,))
+        names = set(self.tables)
+        for table, _ in self.predicates:
+            if table not in names:
+                raise ValueError("predicate on unknown table %r" % table)
+        for clause in self.joins:
+            if clause.left_table not in names or clause.right_table not in names:
+                raise ValueError("join clause %s references unknown table" % clause)
+        if self.aggregates and self.projection is not None:
+            raise ValueError("use group_by/aggregates or projection, not both")
+
+    def predicates_on(self, table: str) -> List[Predicate]:
+        return [p for t, p in self.predicates if t == table]
+
+    def joins_between(
+        self, placed: Sequence[str], candidate: str
+    ) -> List[JoinClause]:
+        """Join clauses connecting ``candidate`` to the tables in ``placed``."""
+        placed_set = set(placed)
+        return [
+            c
+            for c in self.joins
+            if c.involves(candidate) and c.other(candidate) in placed_set
+        ]
+
+
+__all__ = ["JoinClause", "Query"]

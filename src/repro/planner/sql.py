@@ -1,0 +1,416 @@
+"""A small SQL front end over the Section 4 planner.
+
+Supports the query fragment the paper's planner handles -- conjunctive
+select-project-join with grouping:
+
+.. code-block:: sql
+
+    SELECT dname, AVG(salary) AS avg_sal
+    FROM emp JOIN dept ON emp.dept = dept.dept_id
+    WHERE salary > 50000 AND name LIKE 'J%'
+    GROUP BY dname
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT [DISTINCT] items FROM tables [WHERE conj]
+                 [GROUP BY columns]
+    items     := '*' | item (',' item)*
+    item      := aggregate '(' ('*' | column) ')' [AS name] | column
+    tables    := name (',' name)* | name (JOIN name ON eq)*
+    conj      := term (AND term)*                 -- top level is a conjunction
+    term      := '(' orterm ')' | predicate | eq  -- eq = equijoin condition
+    orterm    := predicate ((AND|OR) predicate)*  -- single-table only
+    predicate := column op literal | column LIKE 'prefix%' | NOT predicate
+    eq        := qualified '=' qualified
+
+Bare column names resolve through the catalog (they must be unambiguous,
+which the planner requires anyway).  ``LIKE`` supports prefix patterns
+(``'J%'``) only -- the paper's ``emp.name = "J*"`` query.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.operators.aggregate import AggregateFunction, AggregateSpec
+from repro.operators.selection import And, Comparison, Not, Or, Predicate, Prefix
+from repro.planner.query import JoinClause, Query
+from repro.storage.catalog import Catalog
+
+
+class SqlError(ValueError):
+    """Raised for syntax or resolution errors, with position context."""
+
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "and", "or",
+    "not", "join", "on", "as", "like",
+}
+_AGGREGATES = {
+    "count": AggregateFunction.COUNT,
+    "sum": AggregateFunction.SUM,
+    "avg": AggregateFunction.AVG,
+    "min": AggregateFunction.MIN,
+    "max": AggregateFunction.MAX,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (self.kind, self.value)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise SqlError(
+                "cannot tokenize SQL at position %d: %r"
+                % (pos, text[pos:pos + 20])
+            )
+        pos = match.end()
+        for kind in ("number", "string", "name", "op", "punct"):
+            value = match.group(kind)
+            if value is None:
+                continue
+            if kind == "name" and value.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", value.lower(), match.start()))
+            else:
+                tokens.append(_Token(kind, value, match.start()))
+            break
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, catalog: Catalog) -> None:
+        self.text = text
+        self.catalog = catalog
+        self.tokens = _tokenize(text)
+        self.i = 0
+        self.tables: List[str] = []
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[_Token]:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            raise SqlError(
+                "expected %s at position %d, got %r"
+                % (value or kind, got.pos, got.value or "<end>")
+            )
+        return tok
+
+    # -- resolution -----------------------------------------------------------------
+
+    def resolve_column(self, name: str) -> Tuple[str, str]:
+        """Resolve ``col`` or ``table.col`` to (table, column)."""
+        if "." in name:
+            table, column = name.split(".", 1)
+            if table not in self.tables:
+                raise SqlError("unknown table %r in %r" % (table, name))
+            if not self.catalog.relation(table).schema.has_field(column):
+                raise SqlError("table %r has no column %r" % (table, column))
+            return table, column
+        owners = [
+            t
+            for t in self.tables
+            if self.catalog.relation(t).schema.has_field(name)
+        ]
+        if not owners:
+            raise SqlError("unknown column %r" % name)
+        if len(owners) > 1:
+            raise SqlError(
+                "ambiguous column %r (in tables %s)" % (name, sorted(owners))
+            )
+        return owners[0], name
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self.expect("keyword", "select")
+        distinct = self.accept("keyword", "distinct") is not None
+        items = self._select_items()
+        self.expect("keyword", "from")
+        joins = self._tables_and_joins()
+        predicates: List[Tuple[str, Predicate]] = []
+        if self.accept("keyword", "where"):
+            more_joins = self._where(predicates)
+            joins.extend(more_joins)
+        group_by: List[str] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by = self._column_list()
+        self.expect("eof")
+        return self._build_query(items, distinct, joins, predicates, group_by)
+
+    def _select_items(self) -> List[Tuple[str, Any]]:
+        """Each item is ('star', None) | ('column', name) |
+        ('agg', AggregateSpec)."""
+        if self.accept("punct", "*"):
+            return [("star", None)]
+        items: List[Tuple[str, Any]] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "name" and tok.value.lower() in _AGGREGATES:
+                nxt = self.tokens[self.i + 1]
+                if nxt.kind == "punct" and nxt.value == "(":
+                    items.append(("agg", self._aggregate()))
+                else:
+                    items.append(("column", self.next().value))
+            elif tok.kind == "name":
+                items.append(("column", self.next().value))
+            else:
+                raise SqlError(
+                    "expected a column or aggregate at position %d" % tok.pos
+                )
+            if not self.accept("punct", ","):
+                return items
+
+    def _aggregate(self) -> Tuple[AggregateFunction, Optional[str], Optional[str]]:
+        """Raw (func, column name, alias); the column resolves later,
+        once FROM has populated the table list."""
+        func = _AGGREGATES[self.next().value.lower()]
+        self.expect("punct", "(")
+        if self.accept("punct", "*"):
+            if func is not AggregateFunction.COUNT:
+                raise SqlError("%s(*) is not valid SQL here" % func.value)
+            column: Optional[str] = None
+        else:
+            column = self.expect("name").value
+        self.expect("punct", ")")
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("name").value
+        return func, column, alias
+
+    def _resolved_column_name(self) -> str:
+        name = self.expect("name").value
+        _, column = self.resolve_column(name)
+        return column
+
+    def _tables_and_joins(self) -> List[JoinClause]:
+        joins: List[JoinClause] = []
+        first = self.expect("name").value
+        self._register_table(first)
+        while True:
+            if self.accept("punct", ","):
+                self._register_table(self.expect("name").value)
+            elif self.accept("keyword", "join"):
+                table = self.expect("name").value
+                self._register_table(table)
+                self.expect("keyword", "on")
+                joins.append(self._equijoin())
+            else:
+                return joins
+
+    def _register_table(self, name: str) -> None:
+        if not self.catalog.has_relation(name):
+            raise SqlError("unknown table %r" % name)
+        if name in self.tables:
+            raise SqlError("table %r listed twice (aliases unsupported)" % name)
+        self.tables.append(name)
+
+    def _equijoin(self) -> JoinClause:
+        left = self.expect("name").value
+        self.expect("op", "=")
+        right = self.expect("name").value
+        lt, lc = self.resolve_column(left)
+        rt, rc = self.resolve_column(right)
+        if lt == rt:
+            raise SqlError(
+                "join condition %s = %s stays within one table" % (left, right)
+            )
+        return JoinClause(lt, lc, rt, rc)
+
+    # -- WHERE ------------------------------------------------------------------------
+
+    def _where(
+        self, predicates: List[Tuple[str, Predicate]]
+    ) -> List[JoinClause]:
+        """Top-level conjunction of predicates and equijoin conditions."""
+        joins: List[JoinClause] = []
+        while True:
+            self._where_term(predicates, joins)
+            if not self.accept("keyword", "and"):
+                return joins
+
+    def _where_term(self, predicates, joins) -> None:
+        if self.accept("punct", "("):
+            table, pred = self._or_expression()
+            self.expect("punct", ")")
+            predicates.append((table, pred))
+            return
+        # Lookahead: column op column (both names) is an equijoin.
+        tok = self.peek()
+        if tok.kind == "name":
+            nxt = self.tokens[self.i + 1]
+            after = self.tokens[self.i + 2]
+            if (
+                nxt.kind == "op"
+                and nxt.value == "="
+                and after.kind == "name"
+                and after.value.lower() not in _KEYWORDS
+            ):
+                lt, _ = self.resolve_column(tok.value)
+                rt, _ = self.resolve_column(after.value)
+                if lt != rt:
+                    joins.append(self._equijoin())
+                    return
+        table, pred = self._predicate()
+        predicates.append((table, pred))
+
+    def _or_expression(self) -> Tuple[str, Predicate]:
+        """Parenthesised OR/AND chain; all legs must hit one table."""
+        table, pred = self._predicate()
+        while True:
+            if self.accept("keyword", "or"):
+                combine = Or
+            elif self.accept("keyword", "and"):
+                combine = And
+            else:
+                return table, pred
+            table2, pred2 = self._predicate()
+            if table2 != table:
+                raise SqlError(
+                    "predicates inside parentheses must reference one "
+                    "table; got %r and %r" % (table, table2)
+                )
+            pred = combine(pred, pred2)
+
+    def _predicate(self) -> Tuple[str, Predicate]:
+        if self.accept("keyword", "not"):
+            table, inner = self._predicate()
+            return table, Not(inner)
+        if self.accept("punct", "("):
+            table, pred = self._or_expression()
+            self.expect("punct", ")")
+            return table, pred
+        name = self.expect("name").value
+        table, column = self.resolve_column(name)
+        if self.accept("keyword", "like"):
+            pattern = self._string_literal()
+            if not pattern.endswith("%") or "%" in pattern[:-1] or not pattern[:-1]:
+                raise SqlError(
+                    "only prefix LIKE patterns ('J%%') are supported; "
+                    "got %r" % pattern
+                )
+            return table, Prefix(column, pattern[:-1])
+        op_tok = self.expect("op")
+        op = "!=" if op_tok.value == "<>" else op_tok.value
+        value = self._literal()
+        return table, Comparison(column, op, value)
+
+    def _literal(self) -> Any:
+        tok = self.next()
+        if tok.kind == "number":
+            return float(tok.value) if "." in tok.value else int(tok.value)
+        if tok.kind == "string":
+            return tok.value[1:-1].replace("''", "'")
+        raise SqlError("expected a literal at position %d" % tok.pos)
+
+    def _string_literal(self) -> str:
+        tok = self.expect("string")
+        return tok.value[1:-1].replace("''", "'")
+
+    def _column_list(self) -> List[str]:
+        columns = [self._resolved_column_name()]
+        while self.accept("punct", ","):
+            columns.append(self._resolved_column_name())
+        return columns
+
+    # -- assembly -------------------------------------------------------------------------
+
+    def _build_query(self, items, distinct, joins, predicates, group_by) -> Query:
+        aggregates = [
+            AggregateSpec(
+                func,
+                self.resolve_column(col)[1] if col is not None else None,
+                alias,
+            )
+            for kind, (func, col, alias) in (
+                (k, v) for k, v in items if k == "agg"
+            )
+        ]
+        columns = [
+            self.resolve_column(name)[1]
+            for kind, name in items
+            if kind == "column"
+        ]
+        is_star = any(kind == "star" for kind, _ in items)
+
+        if aggregates:
+            if is_star:
+                raise SqlError("SELECT * cannot be mixed with aggregates")
+            implied = group_by or columns
+            if sorted(columns) != sorted(implied if not group_by else group_by):
+                if group_by and sorted(columns) != sorted(group_by):
+                    raise SqlError(
+                        "non-aggregated columns %r must match GROUP BY %r"
+                        % (columns, group_by)
+                    )
+            return Query(
+                tables=self.tables,
+                predicates=predicates,
+                joins=joins,
+                group_by=group_by or columns,
+                aggregates=aggregates,
+            )
+        if group_by:
+            raise SqlError("GROUP BY without aggregates; add one or drop it")
+        projection = None if is_star else columns
+        return Query(
+            tables=self.tables,
+            predicates=predicates,
+            joins=joins,
+            projection=projection,
+            distinct=distinct,
+        )
+
+
+def parse_sql(text: str, catalog: Catalog) -> Query:
+    """Parse ``text`` into a :class:`~repro.planner.query.Query`."""
+    return _Parser(text, catalog).parse()
+
+
+__all__ = ["SqlError", "parse_sql"]

@@ -1,0 +1,133 @@
+"""Fuzzy checkpointing -- Section 5.3 and 5.5.
+
+"Data pages are periodically written to disk by a background process that
+sweeps through data buffers to find dirty pages.  The disk arms are kept as
+busy as possible."  The :class:`Checkpointer` does exactly that against the
+simulated clock: every ``interval`` it captures images of the currently
+dirty pages and streams them to the snapshot disk back to back at
+``page_write_time`` each.  Images are captured at dispatch (so a page
+updated while its copy is in flight re-dirties and will be swept again),
+and each completed copy resets the page's entry in the stable dirty-page
+table, advancing the redo start point recovery will use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.recovery.state import DatabaseState, DirtyPageTable, DiskSnapshot, PageImage
+from repro.recovery.transactions import TransactionEngine
+from repro.sim.events import EventQueue
+
+
+class Checkpointer:
+    """Background dirty-page sweeper writing to a :class:`DiskSnapshot`."""
+
+    def __init__(
+        self,
+        engine: TransactionEngine,
+        snapshot: DiskSnapshot,
+        interval: float = 1.0,
+        page_write_time: float = 0.010,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.engine = engine
+        self.snapshot = snapshot
+        self.interval = interval
+        self.page_write_time = page_write_time
+        self.sweeps = 0
+        self.pages_checkpointed = 0
+        self._disk_free_at = 0.0
+        self._running = False
+        #: page id -> FIFO of first-update LSNs for copies dispatched but
+        #: not yet on disk.  Conceptually part of the stable dirty-page
+        #: table: if the system crashes mid-copy these entries still bound
+        #: redo (the image never landed, so recovery must start at the old
+        #: LSN).  A FIFO because sweeps can overlap when the sweep takes
+        #: longer than the interval -- two copies of the same page may be
+        #: in flight, and each install retires only its own entry.
+        self.in_flight: dict = {}
+
+    @property
+    def queue(self) -> EventQueue:
+        return self.engine.queue
+
+    @property
+    def state(self) -> DatabaseState:
+        return self.engine.state
+
+    def start(self) -> None:
+        """Begin periodic sweeping (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.queue.schedule(self.interval, self._sweep, label="checkpoint sweep")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def checkpoint_now(self, pages: Optional[List[int]] = None) -> int:
+        """Sweep immediately; returns how many page copies were queued.
+
+        Images are captured *now* (fuzzy), and the WAL rule is honoured at
+        install time: a copy only lands in the snapshot once the durable
+        log covers its ``page_lsn``.  To make that happen promptly for hot
+        pages the sweep forces the log, the way a real checkpointer flushes
+        the WAL up to the page LSN before writing the page.
+        """
+        dirty = sorted(self.state.dirty) if pages is None else pages
+        if dirty and self.engine.log.durable_lsn_horizon() < max(
+            self.state.page_lsn[p] for p in dirty
+        ):
+            self.engine.log.flush()
+        start = max(self.queue.clock.now, self._disk_free_at)
+        for i, page_id in enumerate(dirty):
+            image = self.state.copy_page(page_id)
+            # The page image is consistent as of *now*; later updates
+            # re-dirty the page and re-enter the dirty table.  The page's
+            # first-update LSN parks in ``in_flight`` until the copy is
+            # durable, so a crash mid-copy still bounds redo correctly.
+            self.state.dirty.discard(page_id)
+            entry = self.engine.dirty_table.first_update_lsn.pop(page_id, None)
+            if entry is not None:
+                self.in_flight.setdefault(page_id, []).append(entry)
+            done = start + (i + 1) * self.page_write_time
+            self.queue.schedule_at(
+                done,
+                lambda img=image, t=done: self._install(img, t),
+                label="checkpoint page write",
+            )
+        self._disk_free_at = start + len(dirty) * self.page_write_time
+        self.sweeps += 1
+        return len(dirty)
+
+    def _install(self, image: PageImage, timestamp: float) -> None:
+        if self.engine.log.durable_lsn_horizon() < image.page_lsn:
+            # WAL: the log covering this image is still in flight.  The
+            # sweep already forced it, so retry shortly.
+            self.queue.schedule(
+                self.page_write_time,
+                lambda: self._install(image, self.queue.clock.now),
+                label="checkpoint install retry (WAL)",
+            )
+            return
+        self.snapshot.install(image, timestamp)
+        # Retire the oldest in-flight entry for the page.  Out-of-order
+        # installs are safe: a newer image covers everything an older
+        # entry guarded, and the snapshot refuses to regress (below).
+        entries = self.in_flight.get(image.page_id)
+        if entries:
+            entries.pop(0)
+            if not entries:
+                del self.in_flight[image.page_id]
+        self.pages_checkpointed += 1
+
+    def _sweep(self) -> None:
+        if not self._running:
+            return
+        self.checkpoint_now()
+        self.queue.schedule(self.interval, self._sweep, label="checkpoint sweep")
+
+
+__all__ = ["Checkpointer"]

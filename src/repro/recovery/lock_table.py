@@ -1,0 +1,264 @@
+"""The lock table, extended for pre-committed transactions -- Section 5.2.
+
+"Associated with each lock are three sets of transactions: active
+transactions that currently hold the lock, transactions that are waiting to
+be granted the lock, and pre-committed transactions that have released the
+lock but have not yet committed.  When a transaction is granted a lock, it
+becomes dependent on the pre-committed transactions that formerly held the
+lock."
+
+This module implements exactly that: per-lock ``holders`` / ``waiters`` /
+``precommitted`` sets, shared/exclusive modes, FIFO grant order, and the
+dependency reporting the transaction engine folds into commit groups.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+
+class LockMode(enum.Enum):
+    """Shared (readers coexist) vs exclusive (sole owner) lock modes."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _Lock:
+    """State for one lockable object."""
+
+    holders: Dict[int, LockMode] = field(default_factory=dict)
+    waiters: Deque[Tuple[int, LockMode]] = field(default_factory=deque)
+    #: Pre-committed former holders that have not yet durably committed.
+    precommitted: Set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class GrantNotice:
+    """A waiter that just received its lock, with inherited dependencies."""
+
+    tid: int
+    obj: Hashable
+    mode: LockMode
+    dependencies: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockGrant:
+    """Outcome of a lock request."""
+
+    granted: bool
+    #: Pre-committed transactions the requester now depends on (only
+    #: meaningful when granted).
+    dependencies: Tuple[int, ...] = ()
+
+
+class LockTable:
+    """Strict 2PL lock manager with pre-committed tracking."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[Hashable, _Lock] = {}
+        self._held_by_txn: Dict[int, Set[Hashable]] = {}
+
+    def _lock(self, obj: Hashable) -> _Lock:
+        lock = self._locks.get(obj)
+        if lock is None:
+            lock = _Lock()
+            self._locks[obj] = lock
+        return lock
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def acquire(self, tid: int, obj: Hashable, mode: LockMode) -> LockGrant:
+        """Request ``obj`` in ``mode``; FIFO queue when incompatible."""
+        lock = self._lock(obj)
+        current = lock.holders.get(tid)
+        if current is not None:
+            if current is mode or current is LockMode.EXCLUSIVE:
+                return LockGrant(True, tuple(sorted(lock.precommitted)))
+            # Upgrade S -> X: allowed only when sole holder and no waiters
+            # ahead (otherwise queue the upgrade like a fresh request).
+            if len(lock.holders) == 1 and not lock.waiters:
+                lock.holders[tid] = LockMode.EXCLUSIVE
+                return LockGrant(True, tuple(sorted(lock.precommitted)))
+            lock.waiters.append((tid, mode))
+            return LockGrant(False)
+
+        if self._grantable(lock, mode):
+            lock.holders[tid] = mode
+            self._held_by_txn.setdefault(tid, set()).add(obj)
+            return LockGrant(True, tuple(sorted(lock.precommitted)))
+        lock.waiters.append((tid, mode))
+        return LockGrant(False)
+
+    def _grantable(self, lock: _Lock, mode: LockMode) -> bool:
+        if lock.waiters:
+            return False  # FIFO fairness: no barging past the queue
+        return all(mode.compatible(m) for m in lock.holders.values())
+
+    # -- pre-commit / commit / abort ---------------------------------------------------
+
+    def precommit(self, tid: int) -> List["GrantNotice"]:
+        """Move ``tid`` from the holder set to the pre-committed set on all
+        its locks, releasing them for waiters.
+
+        Returns a :class:`GrantNotice` per newly granted waiter, carrying
+        the pre-committed dependencies the grantee picks up (which include
+        ``tid`` itself -- that is the commit-ordering edge).
+        """
+        return self._release_all(tid, to_precommitted=True)
+
+    def finalize(self, tid: int) -> None:
+        """``tid`` durably committed: drop it from pre-committed sets."""
+        for obj in list(self._held_by_txn.get(tid, ())):
+            lock = self._locks.get(obj)
+            if lock is not None:
+                lock.precommitted.discard(tid)
+                self._gc(obj, lock)
+        self._held_by_txn.pop(tid, None)
+
+    def abort(self, tid: int) -> List["GrantNotice"]:
+        """Release everything without entering the pre-committed state
+        (aborts happen before pre-commit; a pre-committed transaction
+        "never" aborts, per the paper).
+
+        Waiters granted a lock this way still inherit a dependency on the
+        aborter: their commit groups must not reach disk before the abort
+        record (and the compensation updates it certifies) -- otherwise a
+        crash could recover the dependent's commit but lose the rollback
+        it was built on.
+        """
+        return self._release_all(tid, to_precommitted=False)
+
+    def _release_all(
+        self, tid: int, to_precommitted: bool
+    ) -> List["GrantNotice"]:
+        granted: List["GrantNotice"] = []
+        extra_dep = None if to_precommitted else tid
+        for obj in list(self._held_by_txn.get(tid, ())):
+            lock = self._locks.get(obj)
+            if lock is None or tid not in lock.holders:
+                continue
+            del lock.holders[tid]
+            if to_precommitted:
+                lock.precommitted.add(tid)
+            granted.extend(self._promote_waiters(obj, lock, extra_dep))
+            if not to_precommitted:
+                self._gc(obj, lock)
+        if not to_precommitted:
+            self._held_by_txn.pop(tid, None)
+        # When pre-committing we keep _held_by_txn so finalize() can find
+        # the locks whose precommitted sets mention tid.
+        return granted
+
+    def _promote_waiters(
+        self, obj: Hashable, lock: _Lock, extra_dep: Optional[int] = None
+    ) -> List["GrantNotice"]:
+        granted: List["GrantNotice"] = []
+        while lock.waiters:
+            tid, mode = lock.waiters[0]
+            if not all(mode.compatible(m) for m in lock.holders.values()):
+                break
+            lock.waiters.popleft()
+            lock.holders[tid] = mode
+            self._held_by_txn.setdefault(tid, set()).add(obj)
+            deps = set(lock.precommitted)
+            if extra_dep is not None:
+                deps.add(extra_dep)
+            granted.append(GrantNotice(tid, obj, mode, tuple(sorted(deps))))
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return granted
+
+    def _gc(self, obj: Hashable, lock: _Lock) -> None:
+        if not lock.holders and not lock.waiters and not lock.precommitted:
+            del self._locks[obj]
+
+    def cancel_wait(self, tid: int) -> None:
+        """Remove ``tid`` from every wait queue (deadlock-victim path)."""
+        for obj, lock in list(self._locks.items()):
+            before = len(lock.waiters)
+            lock.waiters = type(lock.waiters)(
+                (t, m) for t, m in lock.waiters if t != tid
+            )
+            if len(lock.waiters) != before:
+                self._gc(obj, lock)
+
+    # -- deadlock detection -----------------------------------------------------------
+
+    def wait_for_edges(self) -> Dict[int, Set[int]]:
+        """The wait-for graph: each waiter waits for every current holder
+        of the lock it is queued on (and for waiters ahead of it, which
+        FIFO fairness makes an implicit dependency)."""
+        edges: Dict[int, Set[int]] = {}
+        for lock in self._locks.values():
+            ahead: List[int] = list(lock.holders)
+            for tid, _ in lock.waiters:
+                edges.setdefault(tid, set()).update(
+                    t for t in ahead if t != tid
+                )
+                ahead.append(tid)
+        return edges
+
+    def find_deadlock(self, start: int) -> Optional[List[int]]:
+        """A wait-for cycle through ``start``, or ``None``.
+
+        Returns the cycle as a list of tids (``start`` first) so the
+        engine can pick a victim.
+        """
+        edges = self.wait_for_edges()
+        path: List[int] = []
+        on_path: Set[int] = set()
+        visited: Set[int] = set()
+
+        def dfs(tid: int) -> Optional[List[int]]:
+            if tid in on_path:
+                return path[path.index(tid):]
+            if tid in visited:
+                return None
+            visited.add(tid)
+            path.append(tid)
+            on_path.add(tid)
+            for nxt in edges.get(tid, ()):
+                cycle = dfs(nxt)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            on_path.discard(tid)
+            return None
+
+        cycle = dfs(start)
+        if cycle and start in cycle:
+            i = cycle.index(start)
+            return cycle[i:] + cycle[:i]
+        return cycle
+
+    # -- introspection ----------------------------------------------------------------
+
+    def holders(self, obj: Hashable) -> Dict[int, LockMode]:
+        lock = self._locks.get(obj)
+        return dict(lock.holders) if lock else {}
+
+    def waiters(self, obj: Hashable) -> List[Tuple[int, LockMode]]:
+        lock = self._locks.get(obj)
+        return list(lock.waiters) if lock else []
+
+    def precommitted(self, obj: Hashable) -> Set[int]:
+        lock = self._locks.get(obj)
+        return set(lock.precommitted) if lock else set()
+
+    def locks_held(self, tid: int) -> Set[Hashable]:
+        return set(self._held_by_txn.get(tid, ()))
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+
+__all__ = ["GrantNotice", "LockGrant", "LockMode", "LockTable"]

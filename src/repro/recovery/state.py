@@ -1,0 +1,136 @@
+"""The memory-resident database image, its disk snapshot, and page LSNs.
+
+For the Section 5 experiments the database is an array of fixed-size
+records (the banking workload's account balances) grouped onto pages.
+Every page tracks the LSN of the last update applied to it, which is what
+lets restart recovery decide, per page, which logged updates the reloaded
+snapshot already contains.
+
+:class:`DiskSnapshot` is the checkpoint target: page copies tagged with
+their page LSN and the simulated time the copy completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+class DatabaseState:
+    """``n_records`` fixed-width records packed ``records_per_page`` each."""
+
+    def __init__(
+        self,
+        n_records: int,
+        records_per_page: int = 64,
+        initial_value: Any = 0,
+    ) -> None:
+        if n_records < 1:
+            raise ValueError("database needs at least one record")
+        if records_per_page < 1:
+            raise ValueError("records per page must be positive")
+        self.n_records = n_records
+        self.records_per_page = records_per_page
+        self.values: List[Any] = [initial_value] * n_records
+        self.page_count = (n_records + records_per_page - 1) // records_per_page
+        #: LSN of the last update applied to each page (-1 = never).
+        self.page_lsn: List[int] = [-1] * self.page_count
+        self.dirty: Set[int] = set()
+
+    def page_of(self, record_id: int) -> int:
+        if not 0 <= record_id < self.n_records:
+            raise IndexError("record %d out of range" % record_id)
+        return record_id // self.records_per_page
+
+    def read(self, record_id: int) -> Any:
+        return self.values[record_id]
+
+    def write(self, record_id: int, value: Any, lsn: int) -> Any:
+        """Apply an update; returns the old value (for the log record)."""
+        old = self.values[record_id]
+        self.values[record_id] = value
+        page = self.page_of(record_id)
+        self.page_lsn[page] = lsn
+        self.dirty.add(page)
+        return old
+
+    def page_records(self, page_id: int) -> Tuple[int, int]:
+        """Record-id range [start, end) stored on ``page_id``."""
+        start = page_id * self.records_per_page
+        return start, min(start + self.records_per_page, self.n_records)
+
+    def copy_page(self, page_id: int) -> "PageImage":
+        start, end = self.page_records(page_id)
+        return PageImage(
+            page_id=page_id,
+            values=list(self.values[start:end]),
+            page_lsn=self.page_lsn[page_id],
+        )
+
+    def total_balance(self) -> Any:
+        """Sum of all records -- the banking invariant checks use this."""
+        return sum(self.values)
+
+
+@dataclass
+class PageImage:
+    """An immutable copy of one page at checkpoint time."""
+
+    page_id: int
+    values: List[Any]
+    page_lsn: int
+
+
+@dataclass
+class DiskSnapshot:
+    """The checkpointed on-disk database image."""
+
+    pages: Dict[int, PageImage] = field(default_factory=dict)
+    #: Simulated time each page copy completed (for recovery statistics).
+    written_at: Dict[int, float] = field(default_factory=dict)
+
+    def install(self, image: PageImage, timestamp: float) -> None:
+        """Store ``image``, never regressing to an older copy (checkpoint
+        installs can complete out of order when a WAL retry delays one)."""
+        current = self.pages.get(image.page_id)
+        if current is not None and current.page_lsn > image.page_lsn:
+            return
+        self.pages[image.page_id] = image
+        self.written_at[image.page_id] = timestamp
+
+    def load_into(self, state: DatabaseState) -> None:
+        """Reload the snapshot into a zeroed database image."""
+        for image in self.pages.values():
+            start, end = state.page_records(image.page_id)
+            state.values[start:end] = image.values
+            state.page_lsn[image.page_id] = image.page_lsn
+        state.dirty.clear()
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+@dataclass
+class DirtyPageTable:
+    """Convenience view over the stable dirty-page table (Section 5.5).
+
+    Thin wrapper so tests can exercise the table independent of
+    :class:`~repro.recovery.stable_memory.StableMemory`.
+    """
+
+    first_update_lsn: Dict[int, int] = field(default_factory=dict)
+
+    def note(self, page_id: int, lsn: int) -> None:
+        self.first_update_lsn.setdefault(page_id, lsn)
+
+    def checkpointed(self, page_id: int) -> None:
+        self.first_update_lsn.pop(page_id, None)
+
+    def redo_start(self) -> Optional[int]:
+        if not self.first_update_lsn:
+            return None
+        return min(self.first_update_lsn.values())
+
+
+__all__ = ["DatabaseState", "DirtyPageTable", "DiskSnapshot", "PageImage"]

@@ -1,0 +1,13 @@
+"""Simulation primitives: a virtual clock and a discrete-event queue.
+
+The paper's numbers come from analytic simulation on 1984 hardware, so the
+reproduction never trusts the Python wall clock.  Everything time-like runs
+against :class:`~repro.sim.clock.SimulatedClock`, and the recovery
+experiments (Section 5) are driven by the discrete-event
+:class:`~repro.sim.events.EventQueue`.
+"""
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Event", "EventQueue", "SimulatedClock"]

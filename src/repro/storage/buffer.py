@@ -1,0 +1,135 @@
+"""A buffer pool with the paper's random-replacement assumption.
+
+Section 2's fault model -- a lookup touching ``C`` distinct pages of an
+``S``-page structure faults ``C * (1 - |M|/S)`` times -- assumes *random
+replacement*.  This pool implements random replacement (seeded, so tests
+are deterministic) plus LRU and FIFO for the ablation benchmark that checks
+how well the closed-form model predicts measured fault rates.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+
+class ReplacementPolicy(enum.Enum):
+    """Victim-selection policies supported by :class:`BufferPool`."""
+
+    RANDOM = "random"
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+class BufferPool:
+    """Fixed-capacity cache of page identifiers.
+
+    The pool does not hold page *contents* -- the structures in
+    :mod:`repro.access` keep their nodes in Python objects -- it models
+    which pages are memory resident, which is the only thing the Section 2
+    cost function depends on.  ``access(page_id)`` returns ``True`` on a hit
+    and ``False`` on a fault, updating hit/fault statistics.
+
+    An optional ``on_fault`` callback lets callers charge a random IO to
+    their counters; an optional ``on_evict_dirty`` supports the recovery
+    checkpointer.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy = ReplacementPolicy.RANDOM,
+        seed: int = 1984,
+        on_fault: Optional[Callable[[Hashable], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.capacity = capacity
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._on_fault = on_fault
+        # OrderedDict doubles as recency (LRU) and insertion (FIFO) order.
+        self._frames: "OrderedDict[Hashable, bool]" = OrderedDict()
+        self.hits = 0
+        self.faults = 0
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.faults
+
+    @property
+    def fault_rate(self) -> float:
+        """Observed fault fraction (0 when never accessed)."""
+        return self.faults / self.accesses if self.accesses else 0.0
+
+    @property
+    def resident(self) -> int:
+        """Number of occupied frames."""
+        return len(self._frames)
+
+    def contains(self, page_id: Hashable) -> bool:
+        """Residence check with no statistics side effects."""
+        return page_id in self._frames
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.faults = 0
+
+    # -- operation -----------------------------------------------------------------
+
+    def access(self, page_id: Hashable, dirty: bool = False) -> bool:
+        """Touch ``page_id``; return ``True`` on hit, ``False`` on fault."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames[page_id] = self._frames[page_id] or dirty
+            if self.policy is ReplacementPolicy.LRU:
+                self._frames.move_to_end(page_id)
+            return True
+
+        self.faults += 1
+        if self._on_fault is not None:
+            self._on_fault(page_id)
+        if len(self._frames) >= self.capacity:
+            self._evict()
+        self._frames[page_id] = dirty
+        return False
+
+    def _evict(self) -> Hashable:
+        if self.policy is ReplacementPolicy.RANDOM:
+            victim = self._rng.choice(list(self._frames.keys()))
+        else:
+            # Both LRU and FIFO evict the oldest entry; they differ only in
+            # whether access() refreshes recency above.
+            victim = next(iter(self._frames))
+        del self._frames[victim]
+        return victim
+
+    def pin_all(self, page_ids: List[Hashable]) -> None:
+        """Pre-load pages without counting faults (warm-up helper)."""
+        for pid in page_ids:
+            if len(self._frames) >= self.capacity:
+                break
+            self._frames.setdefault(pid, False)
+
+    def dirty_pages(self) -> List[Hashable]:
+        """Identifiers of dirty resident pages (for the checkpointer)."""
+        return [pid for pid, dirty in self._frames.items() if dirty]
+
+    def mark_clean(self, page_id: Hashable) -> None:
+        if page_id in self._frames:
+            self._frames[page_id] = False
+
+    def __repr__(self) -> str:
+        return "BufferPool(%s, %d/%d frames, %.1f%% faults)" % (
+            self.policy.value,
+            len(self._frames),
+            self.capacity,
+            100.0 * self.fault_rate,
+        )
+
+
+__all__ = ["BufferPool", "ReplacementPolicy"]

@@ -1,0 +1,179 @@
+"""The system catalog: relations, their indexes, and optimizer statistics.
+
+Section 4 reduces query optimization to selectivity ordering once hash
+algorithms are chosen; the statistics the planner needs (cardinality, page
+count, distinct values per column, min/max) live here, collected lazily per
+relation with an explicit ``analyze`` step, as a real system would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.storage.histogram import EquiDepthHistogram
+from repro.storage.relation import Relation
+
+
+@dataclass
+class ColumnStats:
+    """Per-column statistics used for selectivity estimation."""
+
+    distinct: int = 0
+    minimum: Optional[Any] = None
+    maximum: Optional[Any] = None
+    #: Optional equi-depth histogram (numeric columns, built on request).
+    histogram: Optional[EquiDepthHistogram] = None
+
+    def selectivity_equals(self, cardinality: int) -> float:
+        """Estimated fraction of tuples matching ``col = const``."""
+        if self.distinct <= 0 or cardinality <= 0:
+            return 1.0
+        return 1.0 / self.distinct
+
+    def selectivity_range(self, low: Any, high: Any) -> float:
+        """Estimated fraction matching ``low <= col <= high``.
+
+        Uses the equi-depth histogram when one was built (robust to skew);
+        falls back to the uniform min/max interpolation otherwise.
+        """
+        if self.histogram is not None:
+            return self.histogram.fraction_between(low, high)
+        if (
+            self.minimum is None
+            or self.maximum is None
+            or not isinstance(self.minimum, (int, float))
+            or self.maximum == self.minimum
+        ):
+            return 0.5  # Selinger's default for un-analyzable ranges
+        span = self.maximum - self.minimum
+        width = max(0.0, min(high, self.maximum) - max(low, self.minimum))
+        return max(0.0, min(1.0, width / span))
+
+
+@dataclass
+class RelationStats:
+    """Statistics snapshot for one relation."""
+
+    cardinality: int = 0
+    page_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns.get(name, ColumnStats())
+
+
+class Catalog:
+    """A registry of named relations and their indexes."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._indexes: Dict[Tuple[str, str], Any] = {}
+        self._stats: Dict[str, RelationStats] = {}
+
+    # -- relations ---------------------------------------------------------------
+
+    def register(self, relation: Relation) -> Relation:
+        """Add ``relation``; raises if the name exists."""
+        if relation.name in self._relations:
+            raise ValueError("relation %r already exists" % relation.name)
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError("no relation named %r" % name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def drop(self, name: str) -> None:
+        """Remove a relation, its indexes, and its statistics."""
+        if name not in self._relations:
+            raise KeyError("no relation named %r" % name)
+        del self._relations[name]
+        self._stats.pop(name, None)
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def relations(self) -> List[str]:
+        return sorted(self._relations)
+
+    # -- indexes -----------------------------------------------------------------
+
+    def register_index(self, relation_name: str, column: str, index: Any) -> None:
+        """Attach an index object to ``(relation, column)``."""
+        self.relation(relation_name)  # existence check
+        key = (relation_name, column)
+        if key in self._indexes:
+            raise ValueError("index on %s.%s already exists" % key)
+        self._indexes[key] = index
+
+    def index(self, relation_name: str, column: str) -> Optional[Any]:
+        return self._indexes.get((relation_name, column))
+
+    def indexes_on(self, relation_name: str) -> Dict[str, Any]:
+        return {
+            col: idx
+            for (rel, col), idx in self._indexes.items()
+            if rel == relation_name
+        }
+
+    def drop_index(self, relation_name: str, column: str) -> None:
+        key = (relation_name, column)
+        if key not in self._indexes:
+            raise KeyError("no index on %s.%s" % key)
+        del self._indexes[key]
+
+    # -- statistics ---------------------------------------------------------------
+
+    def analyze(self, name: str, histogram_buckets: int = 0) -> RelationStats:
+        """Scan ``name`` and record fresh optimizer statistics.
+
+        ``histogram_buckets > 0`` additionally builds equi-depth
+        histograms for numeric columns, sharpening range selectivity on
+        skewed data.
+        """
+        rel = self.relation(name)
+        columns: Dict[str, ColumnStats] = {}
+        for i, f in enumerate(rel.schema.fields):
+            values = [row[i] for row in rel]
+            if values:
+                numeric = isinstance(values[0], (int, float))
+                histogram = None
+                if numeric and histogram_buckets > 0:
+                    histogram = EquiDepthHistogram.build(
+                        values, histogram_buckets
+                    )
+                columns[f.name] = ColumnStats(
+                    distinct=len(set(values)),
+                    minimum=min(values) if numeric else None,
+                    maximum=max(values) if numeric else None,
+                    histogram=histogram,
+                )
+            else:
+                columns[f.name] = ColumnStats()
+        stats = RelationStats(
+            cardinality=rel.cardinality,
+            page_count=rel.page_count,
+            columns=columns,
+        )
+        self._stats[name] = stats
+        return stats
+
+    def stats(self, name: str) -> RelationStats:
+        """Statistics for ``name``, analyzing on first request."""
+        if name not in self._stats:
+            return self.analyze(name)
+        return self._stats[name]
+
+    def __repr__(self) -> str:
+        return "Catalog(%d relations, %d indexes)" % (
+            len(self._relations),
+            len(self._indexes),
+        )
+
+
+__all__ = ["Catalog", "ColumnStats", "RelationStats"]

@@ -1,0 +1,110 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The paper's planner discussion inherits Selinger's uniform-distribution
+assumption; on skewed columns that assumption misorders operators.  An
+equi-depth histogram -- bucket boundaries chosen so each bucket holds the
+same number of values -- fixes range estimates with a small, fixed budget,
+and slots into :class:`~repro.storage.catalog.ColumnStats` as an optional
+refinement (built by ``Catalog.analyze(..., histogram_buckets=N)``).
+
+Heavy hitters make several quantile boundaries coincide; the structure
+therefore stores the *exact cumulative fraction at each distinct boundary*
+(so a value occupying many quantiles keeps its true weight) and
+interpolates linearly inside buckets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence
+
+
+class EquiDepthHistogram:
+    """Distinct quantile boundaries with exact cumulative fractions."""
+
+    def __init__(
+        self,
+        boundaries: Sequence[float],
+        cumulative: Sequence[float],
+        total: int,
+    ) -> None:
+        if len(boundaries) < 1 or len(boundaries) != len(cumulative):
+            raise ValueError("boundaries and cumulative fractions must align")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError("boundaries must be strictly increasing")
+        self.boundaries: List[float] = list(boundaries)
+        #: cumulative[i] = exact fraction of values <= boundaries[i].
+        self.cumulative: List[float] = list(cumulative)
+        self.total = total
+
+    @classmethod
+    def build(
+        cls, values: Sequence[float], buckets: int = 16
+    ) -> Optional["EquiDepthHistogram"]:
+        """Build from a column's values; ``None`` for empty input.
+
+        ``buckets`` is a maximum: duplicate-heavy columns produce fewer
+        distinct boundaries, but each boundary carries its exact
+        cumulative weight, so heavy hitters do not distort estimates.
+        """
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        if not values:
+            return None
+        ordered = sorted(values)
+        n = len(ordered)
+        quantiles = {ordered[0], ordered[-1]}
+        for b in range(1, buckets):
+            quantiles.add(ordered[min(n - 1, (b * n) // buckets)])
+        boundaries = sorted(quantiles)
+        cumulative = [bisect.bisect_right(ordered, b) / n for b in boundaries]
+        return cls(boundaries, cumulative, n)
+
+    @property
+    def bucket_count(self) -> int:
+        return max(1, len(self.boundaries) - 1)
+
+    @property
+    def depth(self) -> float:
+        """Average tuples per bucket."""
+        return self.total / self.bucket_count
+
+    # -- estimation ---------------------------------------------------------------
+
+    def fraction_below(self, x: float) -> float:
+        """Estimated fraction of values ``<= x`` (exact at boundaries)."""
+        bounds = self.boundaries
+        if x < bounds[0]:
+            return 0.0
+        if x >= bounds[-1]:
+            return 1.0
+        i = bisect.bisect_right(bounds, x) - 1
+        lo, hi = bounds[i], bounds[i + 1]
+        c_lo, c_hi = self.cumulative[i], self.cumulative[i + 1]
+        within = 0.0 if hi == lo else (x - lo) / (hi - lo)
+        return c_lo + (c_hi - c_lo) * within
+
+    def fraction_between(self, lo: float, hi: float) -> float:
+        """Estimated fraction of values in ``[lo, hi]``.
+
+        ``fraction_below`` is inclusive, so the interval's left endpoint
+        mass is under-counted by whatever sits exactly at ``lo`` -- a
+        one-point error at estimation precision.  Endpoints at or below
+        the minimum boundary count from zero.
+        """
+        if hi < lo:
+            return 0.0
+        below_hi = self.fraction_below(hi)
+        below_lo = self.fraction_below(lo) if lo > self.boundaries[0] else 0.0
+        return max(0.0, below_hi - below_lo)
+
+    def __repr__(self) -> str:
+        return "EquiDepthHistogram(%d buckets over [%g, %g], n=%d)" % (
+            self.bucket_count,
+            self.boundaries[0],
+            self.boundaries[-1],
+            self.total,
+        )
+
+
+__all__ = ["EquiDepthHistogram"]

@@ -1,0 +1,103 @@
+"""Fixed-capacity pages of tuples.
+
+A :class:`Page` is the unit of IO everywhere in the reproduction: relations
+are lists of pages, the simulated disk stores pages, spill files are written
+a page at a time, and the Section 2 fault model counts page reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.tuples import Schema
+
+
+class Page:
+    """A slotted page holding up to ``capacity`` fixed-width tuples."""
+
+    __slots__ = ("page_id", "capacity", "_tuples", "dirty")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("page capacity must be at least one tuple")
+        self.page_id = page_id
+        self.capacity = capacity
+        self._tuples: List[Tuple[Any, ...]] = []
+        self.dirty = False
+
+    @classmethod
+    def for_schema(cls, page_id: int, schema: Schema, page_bytes: int) -> "Page":
+        """A page sized so ``page_bytes // schema.tuple_bytes`` tuples fit."""
+        return cls(page_id, schema.tuples_per_page(page_bytes))
+
+    # -- contents ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._tuples)
+
+    def __getitem__(self, slot: int) -> Tuple[Any, ...]:
+        return self._tuples[slot]
+
+    @property
+    def tuples(self) -> List[Tuple[Any, ...]]:
+        """The live tuples, in slot order (do not mutate)."""
+        return self._tuples
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._tuples) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._tuples)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, row: Tuple[Any, ...]) -> int:
+        """Append a tuple; return its slot.  Raises when full."""
+        if self.is_full:
+            raise OverflowError("page %d is full" % self.page_id)
+        self._tuples.append(row)
+        self.dirty = True
+        return len(self._tuples) - 1
+
+    def replace(self, slot: int, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Overwrite ``slot``; return the previous tuple."""
+        old = self._tuples[slot]
+        self._tuples[slot] = row
+        self.dirty = True
+        return old
+
+    def remove_slot(self, slot: int) -> Tuple[Any, ...]:
+        """Delete the tuple at ``slot`` (later slots shift down)."""
+        self.dirty = True
+        return self._tuples.pop(slot)
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self.dirty = True
+
+    def copy(self) -> "Page":
+        """Deep-enough copy (tuples are immutable) for snapshots."""
+        clone = Page(self.page_id, self.capacity)
+        clone._tuples = list(self._tuples)
+        clone.dirty = self.dirty
+        return clone
+
+    def __repr__(self) -> str:
+        return "Page(id=%d, %d/%d tuples%s)" % (
+            self.page_id,
+            len(self._tuples),
+            self.capacity,
+            ", dirty" if self.dirty else "",
+        )
+
+
+__all__ = ["Page"]

@@ -1,0 +1,159 @@
+"""Paged heap relations.
+
+A :class:`Relation` is the memory-resident representation the paper's title
+is about: a schema plus a list of pages of tuples.  It supports appends,
+scans, page-wise iteration (what the join algorithms consume), and spilling
+to / loading from a :class:`~repro.storage.disk.SimulatedDisk`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+from repro.storage.tuples import Schema
+
+DEFAULT_PAGE_BYTES = 4096
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A named, paged collection of fixed-width tuples."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> None:
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self.page_bytes = page_bytes
+        self._tuples_per_page = schema.tuples_per_page(page_bytes)
+        self._pages: List[Page] = []
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def tuples_per_page(self) -> int:
+        """The paper's ``||R|| / |R|`` density (40 for the Table 2 workload)."""
+        return self._tuples_per_page
+
+    @property
+    def page_count(self) -> int:
+        """``|R|`` -- the relation's size in pages."""
+        return len(self._pages)
+
+    @property
+    def cardinality(self) -> int:
+        """``||R||`` -- the number of tuples."""
+        return sum(len(p) for p in self._pages)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    @property
+    def pages(self) -> List[Page]:
+        """The underlying pages, in order (do not mutate the list)."""
+        return self._pages
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> Tuple[int, int]:
+        """Validate and append one tuple; return its (page, slot) TID."""
+        row = self.schema.validate(values)
+        return self.insert_unchecked(row)
+
+    def insert_unchecked(self, row: Row) -> Tuple[int, int]:
+        """Append a pre-validated tuple (hot path for generators/joins)."""
+        if not self._pages or self._pages[-1].is_full:
+            self._pages.append(Page(len(self._pages), self._tuples_per_page))
+        slot = self._pages[-1].add(row)
+        return len(self._pages) - 1, slot
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many tuples; return how many were added."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Drop every tuple (the schema survives)."""
+        self._pages.clear()
+
+    # -- access -------------------------------------------------------------------
+
+    def fetch(self, tid: Tuple[int, int]) -> Row:
+        """Return the tuple at TID ``(page, slot)``."""
+        page_no, slot = tid
+        return self._pages[page_no][slot]
+
+    def update(self, tid: Tuple[int, int], values: Sequence[Any]) -> Row:
+        """Overwrite the tuple at ``tid``; return the old value."""
+        row = self.schema.validate(values)
+        page_no, slot = tid
+        return self._pages[page_no].replace(slot, row)
+
+    def __iter__(self) -> Iterator[Row]:
+        for page in self._pages:
+            for row in page:
+                yield row
+
+    def scan(self) -> Iterator[Tuple[Tuple[int, int], Row]]:
+        """Yield ``(tid, tuple)`` pairs in physical order."""
+        for page_no, page in enumerate(self._pages):
+            for slot, row in enumerate(page):
+                yield (page_no, slot), row
+
+    def value(self, row: Row, field: str) -> Any:
+        """Field accessor by name (thin sugar over the schema index)."""
+        return row[self.schema.index_of(field)]
+
+    def key_of(self, field: str) -> Callable[[Row], Any]:
+        """A fast key extractor for ``field``."""
+        idx = self.schema.index_of(field)
+        return lambda row: row[idx]
+
+    # -- disk interchange ------------------------------------------------------------
+
+    def spill(self, disk: SimulatedDisk, file_name: Optional[str] = None) -> str:
+        """Write every page to ``disk`` sequentially; return the file name."""
+        name = file_name or ("rel:" + self.name)
+        if disk.exists(name):
+            disk.delete(name)
+        disk.create(name)
+        for i, page in enumerate(self._pages):
+            disk.append(name, page.copy(), sequential=None if i == 0 else True)
+        return name
+
+    @classmethod
+    def load(
+        cls,
+        disk: SimulatedDisk,
+        file_name: str,
+        name: str,
+        schema: Schema,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> "Relation":
+        """Read a spilled relation back from ``disk`` (sequential IO)."""
+        rel = cls(name, schema, page_bytes)
+        for page in disk.scan(file_name):
+            for row in page:
+                rel.insert_unchecked(row)
+        return rel
+
+    def __repr__(self) -> str:
+        return "Relation(%r, %d tuples on %d pages)" % (
+            self.name,
+            self.cardinality,
+            self.page_count,
+        )
+
+
+__all__ = ["DEFAULT_PAGE_BYTES", "Relation", "Row"]

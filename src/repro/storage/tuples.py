@@ -1,0 +1,158 @@
+"""Schemas and fixed-width tuples.
+
+The 1984 paper works with fixed-width tuples (the Table 2 workload packs
+exactly 40 tuples on a 4 KB page).  A :class:`Schema` records field names,
+types, and byte widths; actual tuples are plain Python tuples, which keeps
+the executable algorithms allocation-light while the schema supplies all
+size arithmetic for the cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Sequence, Tuple
+
+
+class DataType(enum.Enum):
+    """The column types the reproduction needs."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` is acceptable for this type."""
+        if self is DataType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+#: Default byte widths per type, used when a field does not override.
+_DEFAULT_WIDTHS = {
+    DataType.INTEGER: 4,
+    DataType.FLOAT: 8,
+    DataType.STRING: 16,
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column: a name, a type, and a fixed byte width."""
+
+    name: str
+    dtype: DataType
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if self.width == 0:
+            object.__setattr__(self, "width", _DEFAULT_WIDTHS[self.dtype])
+        if self.width <= 0:
+            raise ValueError("field width must be positive")
+
+
+class Schema:
+    """An ordered collection of :class:`Field` objects.
+
+    Provides the byte arithmetic (tuple width, tuples per page) the cost
+    model needs, plus field lookup and projection for the operators.
+    """
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        if not fields:
+            raise ValueError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names in schema: %r" % (names,))
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        self._index = {f.name: i for i, f in enumerate(self._fields)}
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> List[str]:
+        return [f.name for f in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join("%s:%s" % (f.name, f.dtype.value) for f in self._fields)
+        return "Schema(%s)" % inner
+
+    def index_of(self, name: str) -> int:
+        """Position of field ``name`` (raises ``KeyError`` if absent)."""
+        return self._index[name]
+
+    def field(self, name: str) -> Field:
+        return self._fields[self.index_of(name)]
+
+    def has_field(self, name: str) -> bool:
+        return name in self._index
+
+    # -- byte arithmetic -------------------------------------------------------
+
+    @property
+    def tuple_bytes(self) -> int:
+        """Fixed width of one tuple under this schema (the paper's L)."""
+        return sum(f.width for f in self._fields)
+
+    def tuples_per_page(self, page_bytes: int) -> int:
+        """How many tuples fit on one ``page_bytes`` page."""
+        per_page = page_bytes // self.tuple_bytes
+        if per_page < 1:
+            raise ValueError(
+                "tuple of %d bytes does not fit on a %d-byte page"
+                % (self.tuple_bytes, page_bytes)
+            )
+        return per_page
+
+    # -- tuple helpers -----------------------------------------------------------
+
+    def validate(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Check arity and types; return the values as a plain tuple."""
+        if len(values) != len(self._fields):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self._fields), len(values))
+            )
+        for value, f in zip(values, self._fields):
+            if not f.dtype.validate(value):
+                raise TypeError(
+                    "field %r expects %s, got %r" % (f.name, f.dtype.value, value)
+                )
+        return tuple(values)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto ``names`` (order preserved)."""
+        return Schema([self.field(n) for n in names])
+
+    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Schema of a join result; optional prefixes disambiguate clashes."""
+        fields: List[Field] = []
+        for f in self._fields:
+            fields.append(Field(prefix_self + f.name, f.dtype, f.width))
+        for f in other._fields:
+            fields.append(Field(prefix_other + f.name, f.dtype, f.width))
+        return Schema(fields)
+
+
+def make_schema(*specs: Tuple[str, DataType]) -> Schema:
+    """Shorthand: ``make_schema(("id", DataType.INTEGER), ...)``."""
+    return Schema([Field(name, dtype) for name, dtype in specs])
+
+
+__all__ = ["DataType", "Field", "Schema", "make_schema"]

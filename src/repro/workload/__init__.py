@@ -1,0 +1,35 @@
+"""Synthetic workloads for the paper's experiments.
+
+* :mod:`repro.workload.distributions` -- seeded key distributions
+  (uniform, zipf, sequential, name-like strings).
+* :mod:`repro.workload.generator` -- relation builders: the Wisconsin-style
+  join inputs for Section 3 and the employee relation of Section 2's
+  example queries.
+* :mod:`repro.workload.banking` -- Jim Gray's debit/credit banking mix for
+  the Section 5 recovery experiments (the workload the paper cites for its
+  400-byte log sizing).
+"""
+
+from repro.workload.banking import BankingWorkload
+from repro.workload.distributions import (
+    name_keys,
+    sequential_keys,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.workload.generator import (
+    employees_relation,
+    join_inputs,
+    wisconsin_relation,
+)
+
+__all__ = [
+    "BankingWorkload",
+    "employees_relation",
+    "join_inputs",
+    "name_keys",
+    "sequential_keys",
+    "uniform_keys",
+    "wisconsin_relation",
+    "zipf_keys",
+]

@@ -1,0 +1,106 @@
+"""Jim Gray's debit/credit banking mix -- the Section 5 workload.
+
+The paper sizes its "typical" transaction (400 bytes of log) on "the
+example banking database and transactions in Jim Gray, 'Notes on Database
+Operating Systems'".  :class:`BankingWorkload` generates that mix against
+the record-array database: transfers between two accounts, single-account
+deposits, and balance inquiries (read-only).
+
+Record ids inside one script are accessed in sorted order so strict 2PL
+cannot deadlock (a canonical resource ordering).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.recovery.transactions import Operation
+
+
+class BankingWorkload:
+    """Generator of banking transaction scripts over ``n_accounts``."""
+
+    def __init__(
+        self,
+        n_accounts: int,
+        initial_balance: int = 100,
+        transfer_fraction: float = 0.7,
+        deposit_fraction: float = 0.2,
+        seed: int = 1984,
+    ) -> None:
+        if n_accounts < 2:
+            raise ValueError("banking needs at least two accounts")
+        if not 0 <= transfer_fraction + deposit_fraction <= 1:
+            raise ValueError("fractions must sum to at most 1")
+        self.n_accounts = n_accounts
+        self.initial_balance = initial_balance
+        self.transfer_fraction = transfer_fraction
+        self.deposit_fraction = deposit_fraction
+        self._rng = random.Random(seed)
+        #: Deposits inject money; track the injected total so tests can
+        #: assert conservation.
+        self.deposited = 0
+
+    @property
+    def initial_total(self) -> int:
+        return self.n_accounts * self.initial_balance
+
+    def expected_total(self) -> int:
+        """Invariant: sum of balances == initial + deposits by committed
+        transactions.  (Callers must only count committed deposits; use
+        per-script amounts from :meth:`next_script`.)"""
+        return self.initial_total + self.deposited
+
+    def next_script(self) -> Tuple[List[Operation], int]:
+        """One transaction script plus the money it injects (0 for
+        transfers and inquiries)."""
+        u = self._rng.random()
+        if u < self.transfer_fraction:
+            return self._transfer(), 0
+        if u < self.transfer_fraction + self.deposit_fraction:
+            script, amount = self._deposit()
+            return script, amount
+        return self._inquiry(), 0
+
+    def scripts(self, count: int) -> List[Tuple[List[Operation], int]]:
+        return [self.next_script() for _ in range(count)]
+
+    # -- transaction shapes --------------------------------------------------------
+
+    def _transfer(self) -> List[Operation]:
+        a, b = self._rng.sample(range(self.n_accounts), 2)
+        amount = self._rng.randrange(1, 50)
+        first, second = sorted((a, b))
+        ops: List[Operation] = []
+        for account in (first, second):
+            sign = -amount if account == a else amount
+            ops.append(("read", account))
+            ops.append(("write", account, _adder(sign)))
+        return ops
+
+    def _deposit(self) -> Tuple[List[Operation], int]:
+        account = self._rng.randrange(self.n_accounts)
+        amount = self._rng.randrange(1, 100)
+        self.deposited += amount
+        return (
+            [("read", account), ("write", account, _adder(amount))],
+            amount,
+        )
+
+    def _inquiry(self) -> List[Operation]:
+        accounts = sorted(self._rng.sample(range(self.n_accounts), 3))
+        return [("read", a) for a in accounts]
+
+
+def _adder(delta: int):
+    """A named closure (picklable-ish, debuggable) adding ``delta``."""
+
+    def apply(value):
+        return value + delta
+
+    apply.delta = delta
+    return apply
+
+
+__all__ = ["BankingWorkload"]

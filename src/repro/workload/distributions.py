@@ -1,0 +1,97 @@
+"""Seeded key distributions.
+
+Everything takes an explicit seed so experiments are exactly reproducible;
+nothing touches global random state.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import string
+from typing import Iterator, List
+
+
+def uniform_keys(count: int, domain: int, seed: int = 1984) -> List[int]:
+    """``count`` keys drawn uniformly from ``[0, domain)`` (with repeats)."""
+    if domain < 1:
+        raise ValueError("domain must be at least 1")
+    rng = random.Random(seed)
+    return [rng.randrange(domain) for _ in range(count)]
+
+
+def sequential_keys(count: int, start: int = 0) -> List[int]:
+    """``start, start+1, ...`` -- the fully clustered / sorted case."""
+    return list(range(start, start + count))
+
+
+def shuffled_keys(count: int, seed: int = 1984) -> List[int]:
+    """A random permutation of ``0..count-1`` -- unique but unordered
+    (the classic Wisconsin-benchmark ``unique`` column)."""
+    rng = random.Random(seed)
+    keys = list(range(count))
+    rng.shuffle(keys)
+    return keys
+
+
+def zipf_keys(
+    count: int, domain: int, theta: float = 0.8, seed: int = 1984
+) -> List[int]:
+    """Zipf-skewed keys over ``[0, domain)``.
+
+    Uses the standard inverse-CDF construction with exponent ``theta``
+    (0 = uniform, 1 = classic Zipf).  Skewed keys stress the hash
+    partitioning assumptions of Section 3.3 -- the central-limit argument
+    the paper leans on degrades as ``theta`` grows.
+    """
+    if not 0 <= theta < 2:
+        raise ValueError("theta out of the sensible range [0, 2)")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** theta for rank in range(domain)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    keys: List[int] = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, domain - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        keys.append(lo)
+    return keys
+
+
+_FIRST = [
+    "Jones", "Smith", "Johnson", "Jackson", "James", "Jensen", "Joyce",
+    "Miller", "Davis", "Garcia", "Wilson", "Moore", "Taylor", "Anderson",
+    "Thomas", "Harris", "Martin", "Thompson", "White", "Lopez", "Lee",
+    "Gonzalez", "Clark", "Lewis", "Robinson", "Walker", "Perez", "Hall",
+]
+
+
+def name_keys(count: int, seed: int = 1984) -> List[str]:
+    """Name-like string keys (the paper's ``emp.name = "Jones"`` /
+    ``emp.name = "J*"`` example needs a prefix-queryable distribution)."""
+    rng = random.Random(seed)
+    names: List[str] = []
+    for i in range(count):
+        base = _FIRST[rng.randrange(len(_FIRST))]
+        suffix = "".join(rng.choice(string.ascii_lowercase) for _ in range(3))
+        names.append("%s_%s%d" % (base, suffix, i % 97))
+    return names
+
+
+__all__ = [
+    "name_keys",
+    "sequential_keys",
+    "shuffled_keys",
+    "uniform_keys",
+    "zipf_keys",
+]

@@ -1,0 +1,112 @@
+"""Relation builders for the experiments and examples.
+
+The join inputs mirror the paper's Table 2 workload shape -- two relations
+with a shared key domain and a controllable match rate -- scaled down so
+the *executable* joins finish in sensible wall time (the closed-form models
+handle the full 10,000-page instances).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, Field, Schema
+from repro.workload.distributions import name_keys, shuffled_keys, uniform_keys
+
+#: Page size that yields exactly 40 eight-byte-field... see employees below.
+DEFAULT_PAGE_BYTES = 4096
+
+
+def wisconsin_relation(
+    name: str,
+    cardinality: int,
+    seed: int = 1984,
+    page_bytes: int = 512,
+) -> Relation:
+    """A Wisconsin-benchmark-style relation.
+
+    Columns: ``unique1`` (candidate key, shuffled), ``unique2`` (candidate
+    key, sequential), ``ten`` / ``hundred`` (uniform small domains), and a
+    ``filler`` integer standing in for the padding string.
+    """
+    schema = Schema(
+        [
+            Field("unique1", DataType.INTEGER),
+            Field("unique2", DataType.INTEGER),
+            Field("ten", DataType.INTEGER),
+            Field("hundred", DataType.INTEGER),
+            Field("filler", DataType.INTEGER),
+        ]
+    )
+    rel = Relation(name, schema, page_bytes)
+    u1 = shuffled_keys(cardinality, seed)
+    for i in range(cardinality):
+        rel.insert_unchecked((u1[i], i, u1[i] % 10, u1[i] % 100, 0))
+    return rel
+
+
+def join_inputs(
+    r_tuples: int,
+    s_tuples: int,
+    key_domain: Optional[int] = None,
+    seed: int = 1984,
+    page_bytes: int = 256,
+) -> Tuple[Relation, Relation]:
+    """Two joinable relations R (build) and S (probe).
+
+    ``S.rkey`` draws uniformly from R's key domain, so the expected join
+    cardinality is ``s_tuples * (r_tuples / key_domain)`` matches.
+    """
+    domain = key_domain if key_domain is not None else r_tuples
+    r_schema = Schema(
+        [Field("rkey", DataType.INTEGER), Field("rpayload", DataType.INTEGER)]
+    )
+    s_schema = Schema(
+        [Field("skey", DataType.INTEGER), Field("spayload", DataType.INTEGER)]
+    )
+    r = Relation("R", r_schema, page_bytes)
+    s = Relation("S", s_schema, page_bytes)
+    r_keys = uniform_keys(r_tuples, domain, seed)
+    s_keys = uniform_keys(s_tuples, domain, seed + 1)
+    for i, k in enumerate(r_keys):
+        r.insert_unchecked((k, i))
+    for i, k in enumerate(s_keys):
+        s.insert_unchecked((k, i))
+    return r, s
+
+
+def employees_relation(
+    count: int = 2000, seed: int = 1984, page_bytes: int = 4096
+) -> Relation:
+    """The Section 2 example relation: employees with names and salaries.
+
+    Supports both paper queries: the exact-match
+    ``retrieve (emp.salary) where emp.name = "Jones..."`` and the prefix
+    scan ``where emp.name = "J*"``.
+    """
+    schema = Schema(
+        [
+            Field("emp_id", DataType.INTEGER),
+            Field("name", DataType.STRING, width=24),
+            Field("salary", DataType.INTEGER),
+            Field("dept", DataType.INTEGER),
+        ]
+    )
+    rel = Relation("emp", schema, page_bytes)
+    rng = random.Random(seed)
+    names = name_keys(count, seed)
+    for i in range(count):
+        rel.insert_unchecked(
+            (i, names[i], 20_000 + rng.randrange(80_000), rng.randrange(20))
+        )
+    return rel
+
+
+__all__ = [
+    "DEFAULT_PAGE_BYTES",
+    "employees_relation",
+    "join_inputs",
+    "wisconsin_relation",
+]

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cost.counters import OperationCounters
+from repro.cost.parameters import CostParameters
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, Field, Schema
+
+
+@pytest.fixture
+def counters() -> OperationCounters:
+    return OperationCounters()
+
+
+@pytest.fixture
+def small_params() -> CostParameters:
+    """Table 2 constants on a small (executable-scale) join instance."""
+    return CostParameters(
+        r_pages=50,
+        s_pages=150,
+        r_tuples_per_page=8,
+        s_tuples_per_page=8,
+    )
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    return Schema(
+        [Field("key", DataType.INTEGER), Field("payload", DataType.INTEGER)]
+    )
+
+
+def build_relation(
+    name: str,
+    keys,
+    schema: Schema = None,
+    page_bytes: int = 64,
+) -> Relation:
+    """A (key, ordinal) relation over ``keys``, 8 tuples per 64-byte page."""
+    if schema is None:
+        schema = Schema(
+            [Field("key", DataType.INTEGER), Field("payload", DataType.INTEGER)]
+        )
+    rel = Relation(name, schema, page_bytes)
+    for i, k in enumerate(keys):
+        rel.insert_unchecked((k, i))
+    return rel
+
+
+@pytest.fixture
+def r_relation() -> Relation:
+    rng = random.Random(42)
+    return build_relation("r", [rng.randrange(100) for _ in range(300)])
+
+
+@pytest.fixture
+def s_relation() -> Relation:
+    rng = random.Random(43)
+    schema = Schema(
+        [Field("skey", DataType.INTEGER), Field("sval", DataType.INTEGER)]
+    )
+    return build_relation(
+        "s", [rng.randrange(100) for _ in range(900)], schema=schema
+    )

@@ -1,0 +1,105 @@
+"""Tests for the executable Section 2 simulator (measured Table 1)."""
+
+import pytest
+
+from repro.access.simulator import (
+    AccessSimulator,
+    build_indexes,
+    measured_breakeven,
+    structure_pages,
+)
+from repro.cost.access_model import (
+    AccessMethodParameters,
+    random_breakeven_fraction,
+)
+from repro.storage.buffer import ReplacementPolicy
+
+N = 1500
+PARAMS = AccessMethodParameters()
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    return build_indexes(N, seed=3)
+
+
+class TestStructurePages:
+    def test_avl_one_page_per_node(self, indexes):
+        avl, _, _ = indexes
+        assert structure_pages(avl) == N
+
+    def test_btree_far_fewer_pages(self, indexes):
+        _, btree, _ = indexes
+        assert structure_pages(btree) < N / 10
+
+
+class TestMeasurements:
+    def test_full_residence_means_no_faults(self, indexes):
+        avl, btree, keys = indexes
+        for index in (avl, btree):
+            sim = AccessSimulator(index, PARAMS)
+            m = sim.measure(keys, 1.0, lookups=400, warmup=200)
+            assert m.faults_per_lookup == 0.0
+
+    def test_avl_comparisons_near_model_c(self, indexes):
+        import math
+
+        avl, _, keys = indexes
+        sim = AccessSimulator(avl, PARAMS)
+        m = sim.measure(keys, 0.5, lookups=400, warmup=200)
+        assert abs(m.comparisons_per_lookup - math.log2(N)) < 1.5
+
+    def test_faults_decrease_with_memory(self, indexes):
+        avl, _, keys = indexes
+        sim = AccessSimulator(avl, PARAMS)
+        sweep = sim.sweep(keys, [0.25, 0.5, 0.9], lookups=400)
+        faults = [m.faults_per_lookup for m in sweep]
+        assert faults == sorted(faults, reverse=True)
+
+    def test_measured_fault_rate_below_uniform_model(self, indexes):
+        """Root bias: measured faults per lookup stay below C*(1-H)."""
+        avl, _, keys = indexes
+        sim = AccessSimulator(avl, PARAMS)
+        for fraction in (0.25, 0.5, 0.75):
+            m = sim.measure(keys, fraction, lookups=400, warmup=400)
+            model = m.comparisons_per_lookup * (1 - fraction)
+            assert m.faults_per_lookup <= model + 0.3
+
+    def test_avl_comparison_discount_applied(self, indexes):
+        avl, _, keys = indexes
+        cheap = AccessSimulator(
+            avl, AccessMethodParameters(y=0.5)
+        ).measure(keys, 1.0, lookups=200, warmup=100)
+        full = AccessSimulator(
+            avl, AccessMethodParameters(y=1.0)
+        ).measure(keys, 1.0, lookups=200, warmup=100)
+        assert cheap.cost_per_lookup == pytest.approx(
+            0.5 * full.cost_per_lookup, rel=0.05
+        )
+
+    def test_empty_keys_rejected(self, indexes):
+        avl, _, _ = indexes
+        with pytest.raises(ValueError):
+            AccessSimulator(avl, PARAMS).measure([], 0.5)
+
+    def test_policy_parameter_respected(self, indexes):
+        avl, _, keys = indexes
+        lru = AccessSimulator(avl, PARAMS, policy=ReplacementPolicy.LRU)
+        m = lru.measure(keys, 0.5, lookups=300, warmup=300)
+        assert m.faults_per_lookup >= 0
+
+
+class TestMeasuredBreakeven:
+    def test_breakeven_exists_and_is_high(self):
+        h = measured_breakeven(n_keys=1200, lookups=400, resolution=10)
+        assert h is not None
+        # Measured threshold stays in the paper's ballpark...
+        assert 0.6 <= h <= 1.0
+
+    def test_measured_at_most_model(self):
+        """Root bias helps the AVL tree, so the measured threshold cannot
+        exceed the closed form by more than grid resolution."""
+        model = random_breakeven_fraction(PARAMS)
+        measured = measured_breakeven(n_keys=1200, lookups=400, resolution=10)
+        assert measured is not None
+        assert measured <= model + 0.1

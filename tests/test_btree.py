@@ -1,0 +1,201 @@
+"""Tests for the B+-tree, including hypothesis invariant checks."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.btree import BPlusTree
+from repro.cost.counters import OperationCounters
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(order=8)
+
+
+class TestBasics:
+    def test_order_floor(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_order_from_page_geometry(self):
+        # The paper's derivation: p / (K + ptr) entries per node.
+        tree = BPlusTree(page_bytes=4096, key_bytes=8, pointer_bytes=4)
+        assert tree.order == 4096 // 12
+
+    def test_empty(self, tree):
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert tree.height == 0
+        assert tree.minimum() is None and tree.maximum() is None
+
+    def test_insert_and_search(self, tree):
+        for k in (5, 1, 9):
+            tree.insert(k, k * 10)
+        assert tree.search(5) == [50]
+        assert tree.search(2) == []
+
+    def test_duplicates(self, tree):
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.search(1) == ["a", "b"]
+        assert len(tree) == 2
+        assert tree.distinct_keys == 1
+
+
+class TestStructure:
+    def test_splits_grow_height(self, tree):
+        for k in range(200):
+            tree.insert(k, k)
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_height_is_logarithmic(self):
+        tree = BPlusTree(order=64)
+        for k in range(10_000):
+            tree.insert(k, k)
+        assert tree.height <= math.ceil(math.log(10_000) / math.log(32)) + 1
+        tree.check_invariants()
+
+    def test_path_pages_length_is_height_plus_one(self, tree):
+        for k in range(500):
+            tree.insert(k, k)
+        assert len(tree.path_pages(250)) == tree.height + 1
+
+    def test_random_insert_occupancy_near_yao(self):
+        """Yao: B-tree nodes are ~69% full under random insertion."""
+        tree = BPlusTree(order=32)
+        keys = list(range(20_000))
+        random.Random(8).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        assert 0.6 < tree.average_fill() < 0.8
+
+    def test_node_counts(self, tree):
+        for k in range(100):
+            tree.insert(k, k)
+        internal, leaves = tree.node_counts()
+        assert leaves >= 100 // (tree.order + 1)
+        assert internal >= 1
+
+
+class TestDelete:
+    def test_simple_delete(self, tree):
+        for k in range(20):
+            tree.insert(k, k)
+        assert tree.delete(10) == 1
+        assert tree.search(10) == []
+        tree.check_invariants()
+
+    def test_delete_one_duplicate(self, tree):
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_delete_missing(self, tree):
+        tree.insert(1, "a")
+        assert tree.delete(2) == 0
+        assert tree.delete(1, "zzz") == 0
+
+    def test_mass_delete_rebalances(self, tree):
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        random.Random(4).shuffle(keys)
+        for k in keys[:400]:
+            assert tree.delete(k) == 1
+        tree.check_invariants()
+        remaining = sorted(keys[400:])
+        assert [k for k, _ in tree.range_scan()] == remaining
+
+    def test_delete_everything_collapses_root(self, tree):
+        for k in range(100):
+            tree.insert(k, k)
+        for k in range(100):
+            tree.delete(k)
+        assert len(tree) == 0
+        assert tree.height == 0
+        tree.check_invariants()
+
+
+class TestSequenceSet:
+    def test_range_scan_in_order(self, tree):
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range_scan(10, 20)] == list(range(10, 21))
+
+    def test_scan_crosses_leaves(self, tree):
+        for k in range(1000):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range_scan()] == list(range(1000))
+
+    def test_scan_pages_clusters_records(self, tree):
+        """The sequential-access advantage of Section 2: many records per
+        leaf page, unlike the AVL tree's page-per-record."""
+        for k in range(1000):
+            tree.insert(k, k)
+        leaf_pages = list(tree.scan_pages())
+        assert len(leaf_pages) < 1000 / 3
+
+    def test_scan_from_absent_low_key(self, tree):
+        for k in range(0, 100, 2):  # even keys only
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_scan(5, 11)]
+        assert got == [6, 8, 10]
+
+
+class TestCounters:
+    def test_search_comparisons_near_log2_n(self):
+        counters = OperationCounters()
+        tree = BPlusTree(order=64, counters=counters)
+        n = 50_000
+        for k in range(n):
+            tree.insert(k, k)
+        counters.reset()
+        probes = 50
+        for k in range(0, n, n // probes):
+            tree.search(k)
+        per_lookup = counters.comparisons / probes
+        # The Section 2 model says C' ~ log2(n) ~ 15.6.
+        assert abs(per_lookup - math.log2(n)) < 6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-500, 500)))
+def test_property_matches_sorted_reference(keys):
+    tree = BPlusTree(order=6)
+    for k in keys:
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert [k for k, _ in tree.range_scan()] == sorted(keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), min_size=1),
+    st.lists(st.integers(0, 60)),
+)
+def test_property_insert_delete_consistency(inserts, deletes):
+    from collections import Counter
+
+    tree = BPlusTree(order=4)
+    reference = Counter(inserts)
+    for k in inserts:
+        tree.insert(k, k)
+    for k in deletes:
+        removed = tree.delete(k, k)
+        if reference[k]:
+            assert removed == 1
+            reference[k] -= 1
+        else:
+            assert removed == 0
+    tree.check_invariants()
+    expected = sorted(k for k, c in reference.items() for _ in range(c))
+    assert sorted(k for k, _ in tree.range_scan()) == expected

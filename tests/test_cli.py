@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestTable1Command:
+    def test_prints_grid(self, capsys):
+        code, out = run(capsys, "table1")
+        assert code == 0
+        assert "Table 1" in out
+        assert "%" in out
+        # Every regenerated threshold is in the paper's band.
+        for line in out.splitlines():
+            if "%" in line:
+                for token in line.split():
+                    if token.endswith("%"):
+                        assert 80.0 <= float(token[:-1]) <= 100.0
+
+
+class TestFigure1Command:
+    def test_prints_curves(self, capsys):
+        code, out = run(capsys, "figure1", "--points", "6")
+        assert code == 0
+        assert "hybrid-hash" in out
+        data_lines = [
+            l for l in out.splitlines()
+            if l and l[0].isdigit()
+        ]
+        assert len(data_lines) == 6
+
+
+class TestThroughputCommand:
+    def test_ladder_orders_correctly(self, capsys):
+        code, out = run(capsys, "throughput", "--seconds", "1.0")
+        assert code == 0
+        values = {}
+        for line in out.splitlines():
+            parts = line.rsplit(None, 1)
+            if len(parts) == 2 and parts[1].isdigit():
+                values[parts[0].strip()] = int(parts[1])
+        assert values["conventional, 1 device"] <= 120
+        assert values["group commit, 1 device"] > 5 * values[
+            "conventional, 1 device"
+        ]
+
+
+class TestRecoveryCommand:
+    def test_checkpointing_reduces_scan(self, capsys):
+        code, out = run(capsys, "recovery", "--seconds", "1.0")
+        assert code == 0
+        scanned = [
+            int(line.split()[-3])
+            for line in out.splitlines()
+            if line.strip().startswith(("never", "2.0", "0.5"))
+        ]
+        assert len(scanned) == 3
+        assert scanned[0] >= scanned[-1]
+
+
+class TestSqlCommand:
+    def test_query_roundtrip(self, capsys):
+        code, out = run(
+            capsys, "sql",
+            "SELECT dname, COUNT(*) AS n FROM emp "
+            "JOIN dept ON emp.dept = dept.dept_id GROUP BY dname",
+        )
+        assert code == 0
+        assert "Aggregate" in out  # the plan
+        assert "row(s)" in out
+
+    def test_limit(self, capsys):
+        code, out = run(capsys, "sql", "SELECT * FROM emp", "--limit", "3")
+        assert code == 0
+        assert "more rows" in out
+
+
+def test_no_command_shows_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()

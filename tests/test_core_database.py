@@ -1,0 +1,151 @@
+"""Tests for the MainMemoryDatabase facade."""
+
+import pytest
+
+from repro import DataType, MainMemoryDatabase
+from repro.operators import AggregateFunction, AggregateSpec, Comparison
+from repro.planner import JoinClause, Query
+from repro.workload import employees_relation
+
+
+@pytest.fixture
+def db():
+    database = MainMemoryDatabase()
+    database.create_table(
+        "emp",
+        [
+            ("emp_id", DataType.INTEGER),
+            ("name", DataType.STRING),
+            ("salary", DataType.INTEGER),
+            ("dept", DataType.INTEGER),
+        ],
+    )
+    rows = [
+        (1, "Jones", 52_000, 1),
+        (2, "Smith", 61_000, 1),
+        (3, "Johnson", 48_000, 2),
+        (4, "Jackson", 75_000, 2),
+        (5, "Miller", 55_000, 3),
+    ]
+    for row in rows:
+        database.insert("emp", row)
+    database.create_table(
+        "dept", [("dept_id", DataType.INTEGER), ("dname", DataType.STRING)]
+    )
+    for row in [(1, "toys"), (2, "tools"), (3, "books")]:
+        database.insert("dept", row)
+    database.analyze()
+    return database
+
+
+class TestDDL:
+    def test_create_and_drop(self, db):
+        db.create_table("tmp", [("x", DataType.INTEGER)])
+        assert "tmp" in db.catalog.relations()
+        db.drop_table("tmp")
+        assert "tmp" not in db.catalog.relations()
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("emp", [("x", DataType.INTEGER)])
+
+    def test_register_external_relation(self):
+        db = MainMemoryDatabase()
+        db.register_table(employees_relation(50))
+        assert db.table("emp").cardinality == 50
+
+    @pytest.mark.parametrize("kind", ["btree", "avl", "hash", "paged-binary"])
+    def test_create_index_kinds(self, db, kind):
+        db.create_index("emp", "name", kind=kind)
+        assert db.lookup("emp", "name", "Jones")[0][0] == 1
+
+    def test_unknown_index_kind(self, db):
+        with pytest.raises(ValueError):
+            db.create_index("emp", "name", kind="lsm")
+
+    def test_drop_index(self, db):
+        db.create_index("emp", "name")
+        db.drop_index("emp", "name")
+        assert db.catalog.index("emp", "name") is None
+
+
+class TestDML:
+    def test_insert_maintains_indexes(self, db):
+        db.create_index("emp", "name")
+        db.insert("emp", (6, "Davis", 44_000, 3))
+        assert db.lookup("emp", "name", "Davis")[0][0] == 6
+
+    def test_insert_many(self, db):
+        n = db.insert_many(
+            "emp", [(10 + i, "X%d" % i, 30_000, 1) for i in range(5)]
+        )
+        assert n == 5
+        assert db.table("emp").cardinality == 10
+
+    def test_delete_where(self, db):
+        db.create_index("emp", "dept")
+        removed = db.delete_where("emp", "dept", 2)
+        assert removed == 2
+        assert db.table("emp").cardinality == 3
+        assert db.lookup("emp", "dept", 2) == []
+        # Index still serves surviving rows.
+        assert len(db.lookup("emp", "dept", 1)) == 2
+
+    def test_delete_where_no_match(self, db):
+        assert db.delete_where("emp", "dept", 99) == 0
+
+
+class TestLookups:
+    def test_lookup_without_index_scans(self, db):
+        assert db.lookup("emp", "name", "Smith")[0][0] == 2
+
+    def test_range_lookup_via_btree(self, db):
+        db.create_index("emp", "salary", kind="btree")
+        rows = db.range_lookup("emp", "salary", 50_000, 62_000)
+        assert sorted(r[0] for r in rows) == [1, 2, 5]
+
+    def test_range_lookup_without_index_scans(self, db):
+        rows = db.range_lookup("emp", "salary", 50_000, 62_000)
+        assert sorted(r[0] for r in rows) == [1, 2, 5]
+
+
+class TestQueries:
+    def test_join_query(self, db):
+        q = Query(
+            tables=["emp", "dept"],
+            joins=[JoinClause("emp", "dept", "dept", "dept_id")],
+            predicates=[("emp", Comparison("salary", ">", 50_000))],
+        )
+        result = db.execute(q)
+        # Column order depends on the join order the planner chose; find
+        # "name" through the result schema.
+        name_idx = result.schema.index_of("name")
+        names = {row[name_idx] for row in result}
+        assert names == {"Jones", "Smith", "Jackson", "Miller"}
+
+    def test_aggregate_query(self, db):
+        q = Query(
+            tables=["emp"],
+            group_by=["dept"],
+            aggregates=[AggregateSpec(AggregateFunction.AVG, "salary", "avg")],
+        )
+        result = db.execute(q)
+        means = {row[0]: row[1] for row in result}
+        assert means[1] == pytest.approx(56_500)
+        assert means[2] == pytest.approx(61_500)
+
+    def test_explain_mentions_plan_nodes(self, db):
+        q = Query(
+            tables=["emp", "dept"],
+            joins=[JoinClause("emp", "dept", "dept", "dept_id")],
+        )
+        assert "Join" in db.explain(q)
+
+    def test_counters_accumulate(self, db):
+        db.reset_counters()
+        q = Query(tables=["emp"], predicates=[("emp", Comparison("dept", "=", 1))])
+        db.execute(q)
+        report = db.cost_report("q")
+        assert report.total_seconds > 0
+        db.reset_counters()
+        assert db.cost_report().total_seconds == 0

@@ -1,0 +1,89 @@
+"""Tests for the operation counters and costing."""
+
+import pytest
+
+from repro.cost.counters import OperationCounters
+from repro.cost.parameters import TABLE2_DEFAULTS
+
+
+def test_counters_start_at_zero(counters):
+    assert counters.as_dict() == {
+        "comparisons": 0,
+        "hashes": 0,
+        "moves": 0,
+        "swaps": 0,
+        "sequential_ios": 0,
+        "random_ios": 0,
+    }
+
+
+def test_increments(counters):
+    counters.compare(3)
+    counters.hash_key()
+    counters.move_tuple(2)
+    counters.swap_tuples()
+    counters.io_sequential(5)
+    counters.io_random(4)
+    assert counters.comparisons == 3
+    assert counters.hashes == 1
+    assert counters.moves == 2
+    assert counters.swaps == 1
+    assert counters.sequential_ios == 5
+    assert counters.random_ios == 4
+
+
+def test_cost_weights_match_table2(counters):
+    counters.compare(1_000_000)
+    assert counters.cost(TABLE2_DEFAULTS) == pytest.approx(3.0)
+    counters.reset()
+    counters.io_random(40)
+    assert counters.cost(TABLE2_DEFAULTS) == pytest.approx(1.0)
+
+
+def test_cpu_and_io_split(counters):
+    counters.hash_key(100)
+    counters.io_sequential(10)
+    assert counters.cpu_cost(TABLE2_DEFAULTS) == pytest.approx(100 * 9e-6)
+    assert counters.io_cost(TABLE2_DEFAULTS) == pytest.approx(0.1)
+    assert counters.cost(TABLE2_DEFAULTS) == pytest.approx(
+        counters.cpu_cost(TABLE2_DEFAULTS) + counters.io_cost(TABLE2_DEFAULTS)
+    )
+
+
+def test_reset(counters):
+    counters.compare(5)
+    counters.reset()
+    assert counters.comparisons == 0
+    assert counters.cost(TABLE2_DEFAULTS) == 0.0
+
+
+def test_snapshot_is_independent(counters):
+    counters.compare(1)
+    snap = counters.snapshot()
+    counters.compare(1)
+    assert snap.comparisons == 1
+    assert counters.comparisons == 2
+
+
+def test_addition_and_subtraction():
+    a = OperationCounters(comparisons=5, moves=2)
+    b = OperationCounters(comparisons=3, random_ios=1)
+    total = a + b
+    assert total.comparisons == 8
+    assert total.moves == 2
+    assert total.random_ios == 1
+    diff = total - b
+    assert diff.comparisons == 5
+    assert diff.random_ios == 0
+
+
+def test_report_contents(counters):
+    counters.compare(10)
+    counters.io_sequential(1)
+    report = counters.report(TABLE2_DEFAULTS, label="unit")
+    assert report.label == "unit"
+    assert report.total_seconds == pytest.approx(10 * 3e-6 + 10e-3)
+    assert "unit" in str(report)
+    # The report holds a snapshot, not a live reference.
+    counters.compare(100)
+    assert report.counters.comparisons == 10

@@ -1,0 +1,115 @@
+"""Tests for the Table 2 / Table 3 parameter records."""
+
+import pytest
+
+from repro.cost.parameters import (
+    TABLE2_DEFAULTS,
+    TABLE3_RANGES,
+    CostParameters,
+    table3_grid,
+    table3_sample,
+)
+
+
+class TestTable2Defaults:
+    def test_exact_paper_values(self):
+        p = TABLE2_DEFAULTS
+        assert p.comp == pytest.approx(3e-6)
+        assert p.hash == pytest.approx(9e-6)
+        assert p.move == pytest.approx(20e-6)
+        assert p.swap == pytest.approx(60e-6)
+        assert p.io_seq == pytest.approx(10e-3)
+        assert p.io_rand == pytest.approx(25e-3)
+        assert p.fudge == pytest.approx(1.2)
+        assert p.r_pages == 10_000
+        assert p.s_pages == 10_000
+
+    def test_tuple_counts(self):
+        # 40 tuples/page x 10,000 pages = 400,000 tuples per relation.
+        assert TABLE2_DEFAULTS.r_tuples == 400_000
+        assert TABLE2_DEFAULTS.s_tuples == 400_000
+
+    def test_minimum_memory_is_sqrt_sf(self):
+        # sqrt(10000 * 1.2) ~ 109.5 -> 110
+        assert TABLE2_DEFAULTS.minimum_memory_pages == 110
+
+
+class TestValidation:
+    def test_r_larger_than_s_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(r_pages=200, s_pages=100)
+
+    def test_fudge_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(fudge=0.9)
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(comp=0.0)
+        with pytest.raises(ValueError):
+            CostParameters(io_seq=-1.0)
+
+    def test_zero_density_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(r_tuples_per_page=0)
+
+
+class TestMemoryRatio:
+    def test_ratio_one_is_r_times_f(self):
+        assert TABLE2_DEFAULTS.memory_for_ratio(1.0) == 12_000
+
+    def test_ratio_half(self):
+        assert TABLE2_DEFAULTS.memory_for_ratio(0.5) == 6_000
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            TABLE2_DEFAULTS.memory_for_ratio(0.0)
+
+    def test_tiny_ratio_floors_at_one_page(self):
+        small = CostParameters(r_pages=1, s_pages=1)
+        assert small.memory_for_ratio(1e-9) == 1
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        p = TABLE2_DEFAULTS.with_updates(comp=5e-6)
+        assert p.comp == pytest.approx(5e-6)
+        assert TABLE2_DEFAULTS.comp == pytest.approx(3e-6)
+
+    def test_validation_applies_to_copies(self):
+        with pytest.raises(ValueError):
+            TABLE2_DEFAULTS.with_updates(r_pages=999_999)
+
+
+class TestTable3:
+    def test_ranges_match_paper(self):
+        assert TABLE3_RANGES["comp"] == pytest.approx((1e-6, 10e-6))
+        assert TABLE3_RANGES["hash"] == pytest.approx((2e-6, 50e-6))
+        assert TABLE3_RANGES["io_rand"] == pytest.approx((15e-3, 35e-3))
+        assert TABLE3_RANGES["s_pages"] == (10_000, 200_000)
+
+    def test_grid_corner_count(self):
+        # 8 swept axes at 2 points each.
+        corners = list(table3_grid(points_per_axis=2))
+        assert len(corners) == 2 ** 8
+
+    def test_grid_points_are_valid(self):
+        for params in table3_grid(points_per_axis=2):
+            assert params.r_pages <= params.s_pages
+            assert params.io_rand >= params.io_seq
+            assert params.swap >= params.comp
+
+    def test_grid_needs_two_points(self):
+        with pytest.raises(ValueError):
+            list(table3_grid(points_per_axis=1))
+
+    def test_sample_is_reproducible(self):
+        a = table3_sample(10, seed=7)
+        b = table3_sample(10, seed=7)
+        assert a == b
+
+    def test_sample_within_ranges(self):
+        for params in table3_sample(25):
+            lo, hi = TABLE3_RANGES["comp"]
+            assert lo <= params.comp <= hi
+            assert params.r_pages <= params.s_pages

@@ -1,0 +1,69 @@
+"""Statistical sanity checks on the key distributions.
+
+These complement test_workload.py with distribution-shape assertions the
+Section 3.3 partitioning argument depends on (the central-limit claim for
+uniform keys, the heavy tail for Zipf).
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.join.partition import partition_hash
+from repro.workload.distributions import uniform_keys, zipf_keys
+
+
+class TestUniformPartitioningClaim:
+    def test_partition_sizes_concentrate(self):
+        """Section 3.3: "if the number of keys in each partition is large,
+        then the central limit theorem assures us that the relative
+        variation ... will be small."  Check the relative spread of hash
+        partition sizes shrinks as keys grow."""
+        def relative_spread(n_keys):
+            keys = uniform_keys(n_keys, n_keys, seed=5)
+            buckets = Counter(partition_hash(k) % 8 for k in keys)
+            sizes = [buckets.get(i, 0) for i in range(8)]
+            mean = sum(sizes) / 8
+            return (max(sizes) - min(sizes)) / mean
+
+        assert relative_spread(40_000) < relative_spread(400)
+        assert relative_spread(40_000) < 0.1
+
+    def test_uniform_chi_square_reasonable(self):
+        n, domain = 20_000, 20
+        keys = uniform_keys(n, domain, seed=6)
+        counts = Counter(keys)
+        expected = n / domain
+        chi2 = sum(
+            (counts.get(v, 0) - expected) ** 2 / expected
+            for v in range(domain)
+        )
+        # 19 degrees of freedom: chi2 beyond ~45 would be wildly non-uniform.
+        assert chi2 < 45
+
+
+class TestZipfShape:
+    def test_rank_frequency_decays(self):
+        keys = zipf_keys(50_000, 200, theta=1.0, seed=7)
+        counts = Counter(keys)
+        ranked = [c for _, c in counts.most_common()]
+        # Frequency roughly halves by rank 2 and is tiny by rank 100.
+        assert ranked[0] > 1.5 * ranked[1]
+        assert ranked[0] > 20 * ranked[min(99, len(ranked) - 1)]
+
+    def test_theta_controls_skew(self):
+        def top_share(theta):
+            keys = zipf_keys(20_000, 100, theta=theta, seed=8)
+            counts = Counter(keys)
+            return counts.most_common(1)[0][1] / len(keys)
+
+        assert top_share(0.2) < top_share(0.8) < top_share(1.4)
+
+    def test_partitions_skew_under_zipf(self):
+        """The flip side of the CLT claim: Zipf keys defeat even a perfect
+        hash, because a single key's mass lands in one bucket."""
+        keys = zipf_keys(20_000, 1000, theta=1.2, seed=9)
+        buckets = Counter(partition_hash(k) % 8 for k in keys)
+        sizes = sorted(buckets.values())
+        assert sizes[-1] > 1.5 * sizes[0]

@@ -1,0 +1,144 @@
+"""Tests for the chained hash index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.hash_index import HashIndex
+from repro.cost.counters import OperationCounters
+
+
+@pytest.fixture
+def index():
+    return HashIndex()
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashIndex(initial_buckets=0)
+        with pytest.raises(ValueError):
+            HashIndex(max_load=0)
+
+    def test_insert_search(self, index):
+        index.insert("k", 1)
+        assert index.search("k") == [1]
+        assert index.probe("k") == [1]
+        assert index.search("other") == []
+
+    def test_duplicates(self, index):
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.search("k") == [1, 2]
+        assert len(index) == 2
+        assert index.distinct_keys == 1
+
+    def test_mixed_key_types(self, index):
+        index.insert(1, "int")
+        index.insert("1", "str")
+        assert index.search(1) == ["int"]
+        assert index.search("1") == ["str"]
+
+    def test_no_range_scan(self, index):
+        assert not index.supports_range_scan
+        with pytest.raises(NotImplementedError):
+            list(index.range_scan(1, 2))
+
+
+class TestDelete:
+    def test_delete_all_values(self, index):
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.delete("k") == 2
+        assert index.search("k") == []
+        assert len(index) == 0
+
+    def test_delete_one_value(self, index):
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.delete("k", 1) == 1
+        assert index.search("k") == [2]
+
+    def test_delete_missing(self, index):
+        assert index.delete("nope") == 0
+        index.insert("k", 1)
+        assert index.delete("k", 99) == 0
+
+
+class TestGrowth:
+    def test_resizes_under_load(self):
+        index = HashIndex(initial_buckets=4, max_load=1.2)
+        for k in range(1000):
+            index.insert(k, k)
+        assert index.bucket_count > 4
+        assert index.load_factor <= 1.2
+        for k in range(0, 1000, 97):
+            assert index.search(k) == [k]
+
+    def test_chains_stay_short(self):
+        index = HashIndex(initial_buckets=8)
+        for k in range(5000):
+            index.insert(k, k)
+        mean, worst = index.chain_length_stats()
+        assert mean < 3.0
+        assert worst < 20
+
+    def test_pages_estimate(self, index):
+        for k in range(100):
+            index.insert(k, k)
+        assert index.pages(entry_bytes=100, page_bytes=4096) == 3  # ceil(10000/4096)
+
+
+class TestCounters:
+    def test_insert_charges_hash_and_move(self):
+        counters = OperationCounters()
+        index = HashIndex(counters)
+        index.insert(1, "v")
+        assert counters.hashes == 1
+        assert counters.moves == 1
+
+    def test_probe_charges_hash_and_chain_comparisons(self):
+        counters = OperationCounters()
+        index = HashIndex(counters)
+        for k in range(100):
+            index.insert(k, k)
+        counters.reset()
+        index.search(42)
+        assert counters.hashes == 1
+        # Average chain ~ load factor: about F comparisons, the paper's
+        # ||S|| * F * comp probe term.
+        assert 0 <= counters.comparisons <= 6
+
+    def test_rehash_on_growth_not_charged(self):
+        counters = OperationCounters()
+        index = HashIndex(counters, initial_buckets=2)
+        for k in range(50):
+            index.insert(k, k)
+        # One logical hash per insert even though growth rehashed chains.
+        assert counters.hashes == 50
+
+
+class TestIteration:
+    def test_items_yields_everything(self, index):
+        for k in range(20):
+            index.insert(k, k * 2)
+        assert sorted(index.items()) == [(k, k * 2) for k in range(20)]
+
+    def test_keys(self, index):
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert sorted(index.keys()) == ["a", "b"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers())))
+def test_property_matches_dict_of_lists(pairs):
+    index = HashIndex(initial_buckets=2)
+    reference = {}
+    for k, v in pairs:
+        index.insert(k, v)
+        reference.setdefault(k, []).append(v)
+    for k, values in reference.items():
+        assert index.search(k) == values
+    assert len(index) == len(pairs)
+    assert index.distinct_keys == len(reference)

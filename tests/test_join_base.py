@@ -1,0 +1,115 @@
+"""Unit tests for the shared join machinery (spec, schema, result)."""
+
+import pytest
+
+from repro.cost.parameters import TABLE2_DEFAULTS, CostParameters
+from repro.join.base import JoinAlgorithm, JoinResult, JoinSpec, join_schema
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, make_schema
+
+from tests.conftest import build_relation
+
+
+class TestJoinSchema:
+    def test_no_clash_keeps_names(self):
+        r = build_relation("r", range(5))
+        s_schema = make_schema(("skey", DataType.INTEGER), ("sv", DataType.INTEGER))
+        s = build_relation("s", range(5), schema=s_schema)
+        schema = join_schema(r, s)
+        assert schema.names == ["key", "payload", "skey", "sv"]
+
+    def test_clash_prefixes_everything(self):
+        r = build_relation("r", range(5))
+        s = build_relation("s", range(5))
+        schema = join_schema(r, s)
+        assert schema.names == ["r_key", "r_payload", "s_key", "s_payload"]
+
+    def test_width_is_sum(self):
+        r = build_relation("r", range(5))
+        s_schema = make_schema(("skey", DataType.INTEGER), ("sv", DataType.INTEGER))
+        s = build_relation("s", range(5), schema=s_schema)
+        assert join_schema(r, s).tuple_bytes == (
+            r.schema.tuple_bytes + s.schema.tuple_bytes
+        )
+
+
+class TestJoinSpecHelpers:
+    def make(self, memory=16):
+        r = build_relation("r", range(40))
+        s_schema = make_schema(("skey", DataType.INTEGER), ("sv", DataType.INTEGER))
+        s = build_relation("s", range(120), schema=s_schema)
+        params = CostParameters(
+            r_pages=r.page_count, s_pages=s.page_count,
+            r_tuples_per_page=8, s_tuples_per_page=8,
+        )
+        return JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=memory, params=params)
+
+    def test_memory_tuples_applies_fudge(self):
+        spec = self.make(memory=12)
+        # 12 pages * 8 tuples / 1.2 fudge = 80 tuples.
+        assert spec.memory_tuples(8) == 80
+
+    def test_table_pages(self):
+        spec = self.make()
+        assert spec.table_pages(80, 8) == pytest.approx(12.0)
+
+    def test_r_fits_in_memory(self):
+        assert self.make(memory=16).r_fits_in_memory()  # 5 pages * 1.2 = 6
+        assert not self.make(memory=4).r_fits_in_memory()
+
+    def test_key_extractors(self):
+        spec = self.make()
+        row = next(iter(spec.r))
+        assert spec.r_key(row) == row[0]
+
+
+class TestJoinResult:
+    def test_report_and_modelled_seconds(self):
+        from repro.join import NestedLoopsJoin
+
+        r = build_relation("r", range(20))
+        s_schema = make_schema(("skey", DataType.INTEGER), ("sv", DataType.INTEGER))
+        s = build_relation("s", range(20), schema=s_schema)
+        spec = JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=16,
+                        params=CostParameters(r_pages=3, s_pages=3,
+                                              r_tuples_per_page=8,
+                                              s_tuples_per_page=8))
+        result = NestedLoopsJoin().join(spec)
+        assert result.cardinality == 20
+        report = result.report()
+        assert report.label == "nested-loops"
+        assert report.total_seconds == pytest.approx(result.modelled_seconds)
+
+    def test_counters_are_snapshot(self):
+        from repro.join import NestedLoopsJoin
+
+        r = build_relation("r", range(8))
+        s_schema = make_schema(("skey", DataType.INTEGER), ("sv", DataType.INTEGER))
+        s = build_relation("s", range(8), schema=s_schema)
+        algo = NestedLoopsJoin()
+        spec = JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=8,
+                        params=CostParameters(r_pages=1, s_pages=1,
+                                              r_tuples_per_page=8,
+                                              s_tuples_per_page=8))
+        result = algo.join(spec)
+        before = result.counters.comparisons
+        algo.counters.compare(100)  # later activity on the algorithm
+        assert result.counters.comparisons == before
+
+
+class TestHeapCharging:
+    def test_charge_heap_op_scales_logarithmically(self):
+        from repro.join import SortMergeJoin
+
+        algo = SortMergeJoin()
+        algo.charge_heap_op(1)
+        small = algo.counters.comparisons
+        algo.counters.reset()
+        algo.charge_heap_op(1023)
+        large = algo.counters.comparisons
+        assert large == 10  # log2(1024)
+        assert small <= 2
+        assert algo.counters.swaps == 10

@@ -1,0 +1,152 @@
+"""Tests for the three-set lock table of Section 5.2."""
+
+import pytest
+
+from repro.recovery.lock_table import LockMode, LockTable
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+class TestModes:
+    def test_shared_compatible_with_shared(self):
+        assert LockMode.SHARED.compatible(LockMode.SHARED)
+
+    def test_exclusive_incompatible(self):
+        assert not LockMode.EXCLUSIVE.compatible(LockMode.SHARED)
+        assert not LockMode.SHARED.compatible(LockMode.EXCLUSIVE)
+        assert not LockMode.EXCLUSIVE.compatible(LockMode.EXCLUSIVE)
+
+
+class TestAcquire:
+    def test_free_grant(self, table):
+        grant = table.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert grant.granted
+        assert grant.dependencies == ()
+        assert table.holders("x") == {1: LockMode.EXCLUSIVE}
+
+    def test_shared_sharing(self, table):
+        assert table.acquire(1, "x", LockMode.SHARED).granted
+        assert table.acquire(2, "x", LockMode.SHARED).granted
+        assert len(table.holders("x")) == 2
+
+    def test_exclusive_blocks(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert not table.acquire(2, "x", LockMode.EXCLUSIVE).granted
+        assert table.waiters("x") == [(2, LockMode.EXCLUSIVE)]
+
+    def test_reacquire_held_lock(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert table.acquire(1, "x", LockMode.SHARED).granted  # X covers S
+        assert table.acquire(1, "x", LockMode.EXCLUSIVE).granted
+
+    def test_upgrade_when_sole_holder(self, table):
+        table.acquire(1, "x", LockMode.SHARED)
+        assert table.acquire(1, "x", LockMode.EXCLUSIVE).granted
+        assert table.holders("x") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_blocked_by_other_sharers(self, table):
+        table.acquire(1, "x", LockMode.SHARED)
+        table.acquire(2, "x", LockMode.SHARED)
+        assert not table.acquire(1, "x", LockMode.EXCLUSIVE).granted
+
+    def test_fifo_no_barging(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.acquire(2, "x", LockMode.EXCLUSIVE)  # waits
+        # A shared request behind an exclusive waiter must queue too.
+        assert not table.acquire(3, "x", LockMode.SHARED).granted
+        assert [t for t, _ in table.waiters("x")] == [2, 3]
+
+
+class TestPrecommit:
+    def test_precommit_moves_to_third_set(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.precommit(1)
+        assert table.holders("x") == {}
+        assert table.precommitted("x") == {1}
+
+    def test_waiter_granted_with_dependency(self, table):
+        """"When a transaction is granted a lock, it becomes dependent on
+        the pre-committed transactions that formerly held the lock.""" """"""
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.acquire(2, "x", LockMode.EXCLUSIVE)
+        notices = table.precommit(1)
+        assert len(notices) == 1
+        assert notices[0].tid == 2
+        assert notices[0].dependencies == (1,)
+        assert table.holders("x") == {2: LockMode.EXCLUSIVE}
+
+    def test_immediate_grant_sees_precommitted(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.precommit(1)
+        grant = table.acquire(2, "x", LockMode.EXCLUSIVE)
+        assert grant.granted
+        assert grant.dependencies == (1,)
+
+    def test_finalize_clears_dependency_source(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.precommit(1)
+        table.finalize(1)
+        assert table.precommitted("x") == set()
+        grant = table.acquire(2, "x", LockMode.EXCLUSIVE)
+        assert grant.dependencies == ()
+
+    def test_chained_dependencies(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.acquire(2, "x", LockMode.EXCLUSIVE)
+        table.precommit(1)
+        notices = table.precommit(2)
+        assert notices == []
+        # A third arrival depends on both pre-committed holders.
+        grant = table.acquire(3, "x", LockMode.EXCLUSIVE)
+        assert set(grant.dependencies) == {1, 2}
+
+    def test_shared_waiters_granted_together(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.acquire(2, "x", LockMode.SHARED)
+        table.acquire(3, "x", LockMode.SHARED)
+        notices = table.precommit(1)
+        assert {n.tid for n in notices} == {2, 3}
+
+
+class TestAbort:
+    def test_abort_releases_without_precommit(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.abort(1)
+        assert table.holders("x") == {}
+        assert table.precommitted("x") == set()
+
+    def test_abort_grants_waiters_with_abort_dependency(self, table):
+        """Waiters must not durably commit before the aborter's rollback
+        is on the log, so the notice carries the aborter as a dependency."""
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.acquire(2, "x", LockMode.EXCLUSIVE)
+        notices = table.abort(1)
+        assert notices[0].tid == 2
+        assert 1 in notices[0].dependencies
+
+    def test_lock_garbage_collected(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.abort(1)
+        assert len(table) == 0
+
+    def test_precommitted_lock_survives_until_finalize(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        table.precommit(1)
+        assert len(table) == 1
+        table.finalize(1)
+        assert len(table) == 0
+
+
+class TestIntrospection:
+    def test_locks_held(self, table):
+        table.acquire(1, "x", LockMode.SHARED)
+        table.acquire(1, "y", LockMode.EXCLUSIVE)
+        assert table.locks_held(1) == {"x", "y"}
+
+    def test_empty_queries(self, table):
+        assert table.holders("nope") == {}
+        assert table.waiters("nope") == []
+        assert table.precommitted("nope") == set()

@@ -1,0 +1,101 @@
+"""Additional edge tests for log devices and the stable drain path."""
+
+import pytest
+
+from repro.recovery.log_device import LogDevice, PartitionedLog
+from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.records import BeginRecord, CommitRecord, UpdateRecord
+from repro.recovery.stable_memory import StableMemory
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimulatedClock())
+
+
+class TestDeviceBackPressure:
+    def test_queued_writes_extend_busy_horizon(self, queue):
+        device = LogDevice(queue)
+        for _ in range(5):
+            device.write_page(["x"])
+        assert device.busy_until == pytest.approx(0.050)
+
+    def test_crash_freezes_horizon(self, queue):
+        device = LogDevice(queue)
+        device.write_page(["x"])
+        device.crash()
+        assert device.busy_until == queue.clock.now
+
+    def test_page_numbers_monotone_per_device(self, queue):
+        device = LogDevice(queue)
+        pages = []
+        for _ in range(3):
+            device.write_page(["x"], pages.append)
+        queue.run_to_completion()
+        assert [p.page_number for p in pages] == [0, 1, 2]
+
+
+class TestStableDrainEdges:
+    def test_crash_mid_drain_loses_nothing(self, queue):
+        """Records stay in stable memory until their disk page completes,
+        so a crash between dispatch and completion keeps them visible."""
+        lm = LogManager(
+            queue, policy=CommitPolicy.STABLE, stable=StableMemory(1 << 20)
+        )
+        for tid in range(30):
+            lm.append(BeginRecord(tid=tid))
+            for i in range(3):
+                lm.append(UpdateRecord(tid=tid, record_id=i))
+            lm.append_commit(tid)
+        # Drains were dispatched but the queue never ran: nothing completed.
+        log = lm.durable_log()
+        commit_tids = {r.tid for r in log if isinstance(r, CommitRecord)}
+        assert commit_tids == set(range(30))
+        # Now let the drain land and crash afterwards: still complete, and
+        # no duplicates from the in-flight overlap.
+        queue.run_to_completion()
+        log2 = lm.durable_log()
+        assert [r.lsn for r in log2] == sorted({r.lsn for r in log2})
+        assert {r.tid for r in log2 if isinstance(r, CommitRecord)} == set(
+            range(30)
+        )
+
+    def test_drain_keeps_up_with_sustained_load(self, queue):
+        lm = LogManager(
+            queue, policy=CommitPolicy.STABLE, stable=StableMemory(1 << 22)
+        )
+        for tid in range(200):
+            lm.append(BeginRecord(tid=tid))
+            lm.append(UpdateRecord(tid=tid, record_id=0))
+            lm.append_commit(tid)
+            queue.run_until(queue.clock.now + 0.002)
+        lm.flush()
+        queue.run_to_completion()
+        assert lm.stable.pending_records() == []
+        assert lm.log.pages_written >= 3
+
+    def test_stable_capacity_pressure_raises(self, queue):
+        from repro.recovery.stable_memory import StableMemoryFullError
+
+        lm = LogManager(
+            queue, policy=CommitPolicy.STABLE, stable=StableMemory(2048)
+        )
+        with pytest.raises(StableMemoryFullError):
+            for tid in range(100):  # never drains: queue never runs
+                lm.append(UpdateRecord(tid=tid, record_id=0))
+
+
+class TestPartitionedLogEdges:
+    def test_single_device_acts_like_plain_log(self, queue):
+        single = PartitionedLog(queue, devices=1)
+        assert len(single) == 1
+        assert single.least_busy() is single.devices[0]
+
+    def test_crash_propagates_to_all_devices(self, queue):
+        log = PartitionedLog(queue, devices=3)
+        for d in log.devices:
+            d.write_page(["x"])
+        log.crash()
+        assert all(d.busy_until == queue.clock.now for d in log.devices)

@@ -1,0 +1,132 @@
+"""Tests for the log-manager extensions: commit timer, truncation, and the
+engine's pause operation."""
+
+import pytest
+
+from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.records import BeginRecord, UpdateRecord
+from repro.recovery.state import DatabaseState
+from repro.recovery.transactions import TransactionEngine, TransactionState
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimulatedClock())
+
+
+class TestGroupCommitTimer:
+    def test_lone_transaction_commits_within_bound(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP, max_commit_delay=0.05)
+        state = DatabaseState(10, records_per_page=8)
+        engine = TransactionEngine(state, queue, lm)
+        txn = engine.submit([("write", 0, 1)])
+        assert txn.state is TransactionState.PRECOMMITTED
+        queue.run_until(0.2)
+        assert txn.state is TransactionState.COMMITTED
+        # delay + one page write.
+        assert txn.latency <= 0.05 + 0.011
+
+    def test_without_timer_lone_transaction_strands(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP)
+        state = DatabaseState(10, records_per_page=8)
+        engine = TransactionEngine(state, queue, lm)
+        txn = engine.submit([("write", 0, 1)])
+        queue.run_until(1.0)
+        assert txn.state is TransactionState.PRECOMMITTED  # page never fills
+
+    def test_timer_does_not_split_filling_pages(self, queue):
+        """Under load, pages fill long before the timer fires: throughput
+        stays at the batched rate."""
+        lm = LogManager(queue, policy=CommitPolicy.GROUP, max_commit_delay=0.5)
+        state = DatabaseState(1000, records_per_page=64)
+        engine = TransactionEngine(state, queue, lm)
+        t = 0.0
+        for i in range(2000):
+            engine.submit_at(t, [("write", i % 1000, 1)])
+            t += 0.0005
+        queue.run_until(1.0)
+        # ~18 single-write txns (20+20+144=184B) per 4096B page.
+        pages = lm.log.pages_written
+        commits = engine.committed_count
+        assert commits / max(1, pages) > 10
+
+    def test_timer_noop_on_already_sealed_group(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP, max_commit_delay=0.02)
+        state = DatabaseState(10, records_per_page=8)
+        engine = TransactionEngine(state, queue, lm)
+        engine.submit([("write", 0, 1)])
+        lm.flush()  # seals before the timer fires
+        queue.run_until(0.5)
+        assert engine.committed_count == 1
+        assert lm.log.pages_written == 1  # the timer added no extra page
+
+
+class TestTruncation:
+    def _durable_log(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP)
+        for tid in range(10):
+            lm.append(BeginRecord(tid=tid))
+            for i in range(3):
+                lm.append(UpdateRecord(tid=tid, record_id=i))
+            lm.append_commit(tid)
+        lm.flush()
+        queue.run_to_completion()
+        return lm
+
+    def test_truncate_drops_prefix(self, queue):
+        lm = self._durable_log(queue)
+        total = len(lm.durable_log())
+        dropped = lm.truncate_before(20)
+        assert dropped > 0
+        remaining = lm.durable_log()
+        assert len(remaining) == total - dropped
+        assert all(r.lsn >= 20 for r in remaining)
+
+    def test_truncate_at_zero_is_noop(self, queue):
+        lm = self._durable_log(queue)
+        assert lm.truncate_before(0) == 0
+
+    def test_truncate_counts_accumulate(self, queue):
+        lm = self._durable_log(queue)
+        a = lm.truncate_before(10)
+        b = lm.truncate_before(25)
+        assert lm.records_truncated == a + b
+
+
+class TestPauseOperation:
+    def test_pause_holds_locks_across_time(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP)
+        state = DatabaseState(10, records_per_page=8)
+        engine = TransactionEngine(state, queue, lm)
+        slow = engine.submit([("write", 0, 1), ("pause", 0.1), ("write", 1, 1)])
+        assert slow.state is TransactionState.ACTIVE
+        # A competitor arriving during the pause must wait.
+        fast = engine.submit([("write", 0, 2)])
+        assert fast.state is TransactionState.WAITING
+        queue.run_until(0.2)
+        assert slow.state is TransactionState.PRECOMMITTED
+        assert fast.state is TransactionState.PRECOMMITTED
+        assert state.read(0) == 2  # fast ran after slow released
+
+    def test_paused_transaction_can_be_aborted(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP)
+        state = DatabaseState(10, records_per_page=8, initial_value=5)
+        engine = TransactionEngine(state, queue, lm)
+        txn = engine.submit([("write", 0, 99), ("pause", 1.0), ("write", 1, 1)])
+        engine.abort(txn)
+        assert state.read(0) == 5
+        # The pending resume event fires harmlessly.
+        queue.run_until(2.0)
+        assert txn.state is TransactionState.ABORTED
+
+    def test_pause_duration_shapes_latency(self, queue):
+        lm = LogManager(queue, policy=CommitPolicy.GROUP,
+                        max_commit_delay=0.001)
+        state = DatabaseState(10, records_per_page=8)
+        engine = TransactionEngine(state, queue, lm)
+        txn = engine.submit([("write", 0, 1), ("pause", 0.3), ("write", 1, 1)])
+        queue.run_until(1.0)
+        assert txn.state is TransactionState.COMMITTED
+        assert txn.latency >= 0.3

@@ -1,0 +1,227 @@
+"""Tests for the log manager's three commit disciplines."""
+
+import pytest
+
+from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.records import (
+    BeginRecord,
+    CommitRecord,
+    RecordSizing,
+    UpdateRecord,
+)
+from repro.recovery.stable_memory import StableMemory
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimulatedClock())
+
+
+def manager(queue, policy=CommitPolicy.GROUP, **kw):
+    return LogManager(queue, policy=policy, **kw)
+
+
+def typical_txn(lm, tid, updates=3, deps=frozenset()):
+    lm.append(BeginRecord(tid=tid))
+    for i in range(updates):
+        lm.append(UpdateRecord(tid=tid, record_id=i, old_value=0, new_value=1))
+    lm.append_commit(tid, deps)
+
+
+class TestLSN:
+    def test_lsns_monotone(self, queue):
+        lm = manager(queue)
+        lsns = [lm.append(BeginRecord(tid=i)) for i in range(5)]
+        assert lsns == [0, 1, 2, 3, 4]
+        assert lm.next_lsn() == 5
+
+
+class TestConventional:
+    def test_one_page_per_commit(self, queue):
+        lm = manager(queue, CommitPolicy.CONVENTIONAL)
+        for tid in range(5):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        assert lm.log.pages_written == 5
+        assert lm.committed_count == 5
+
+    def test_serialized_commit_latency(self, queue):
+        """Five forced commits on one device: 50 ms of log time -- the
+        100 tps ceiling."""
+        lm = manager(queue, CommitPolicy.CONVENTIONAL)
+        for tid in range(5):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        assert queue.clock.now == pytest.approx(0.050)
+
+
+class TestGroupCommit:
+    def test_commits_batch_per_page(self, queue):
+        lm = manager(queue)
+        for tid in range(10):  # 10 x 472B > 4096B: seals one full page
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        # Eight 472-byte transactions fill the first page; the rest wait
+        # in the open group.
+        assert lm.log.pages_written == 1
+        assert lm.committed_count == 8
+
+    def test_flush_drains_stragglers(self, queue):
+        lm = manager(queue)
+        for tid in range(3):
+            typical_txn(lm, tid)
+        lm.flush()
+        queue.run_to_completion()
+        assert lm.committed_count == 3
+
+    def test_on_commit_callback(self, queue):
+        seen = []
+        lm = manager(queue, on_commit=seen.append)
+        for tid in range(10):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        assert seen == list(range(8))
+
+    def test_commit_record_before_dependents(self, queue):
+        """Appending A's commit before B's (B depends on A) keeps A's
+        record at a lower LSN; a single FIFO device then guarantees the
+        paper's write ordering."""
+        lm = manager(queue)
+        typical_txn(lm, 1)
+        typical_txn(lm, 2, deps={1})
+        lm.flush()
+        queue.run_to_completion()
+        records = lm.durable_log()
+        commit_lsns = {
+            r.tid: r.lsn for r in records if isinstance(r, CommitRecord)
+        }
+        assert commit_lsns[1] < commit_lsns[2]
+
+
+class TestPartitionedOrdering:
+    def test_dependent_group_waits(self, queue):
+        """With two devices, the dependent's page must not complete before
+        the dependency's page."""
+        lm = manager(queue, devices=2)
+        # tid 2 -> stream 0, tid 3 -> stream 1 (tid % devices).
+        typical_txn(lm, 2)
+        typical_txn(lm, 3, deps={2})
+        lm.flush()
+        queue.run_to_completion()
+        assert lm.committed_count == 2
+        # Reconstruct durability times from the devices.
+        times = {}
+        for device in lm.log.devices:
+            for page in device.pages:
+                for rec in page.payload:
+                    if isinstance(rec, CommitRecord):
+                        times[rec.tid] = page.completed_at
+        assert times[2] <= times[3]
+
+    def test_independent_groups_parallel(self, queue):
+        lm = manager(queue, devices=2)
+        typical_txn(lm, 2)   # stream 0
+        typical_txn(lm, 3)   # stream 1, independent
+        lm.flush()
+        queue.run_to_completion()
+        assert queue.clock.now == pytest.approx(0.010)  # overlapped
+
+    def test_wal_rule_across_streams(self, queue):
+        """A transaction's commit group depends on the groups holding its
+        earlier records, even within a stream across page boundaries."""
+        lm = manager(queue, devices=1)
+        # Fill most of a page, then let one transaction straddle it.
+        big = RecordSizing()
+        filler = 0
+        while lm._open_groups[0].bytes_used < big.page_bytes - 200:
+            lm.append(UpdateRecord(tid=0, record_id=filler))
+            filler += 1
+        lm.append(UpdateRecord(tid=1, record_id=0))  # fits
+        lm.append(UpdateRecord(tid=1, record_id=1))  # seals, next group
+        lm.append_commit(1)
+        lm.flush()
+        queue.run_to_completion()
+        assert 1 in lm.durable_tids
+
+
+class TestStablePolicy:
+    def test_instant_durability(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        typical_txn(lm, 1)
+        assert 1 in lm.durable_tids  # before any disk IO at all
+        assert lm.committed_count == 1
+
+    def test_drain_writes_full_pages(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        for tid in range(20):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        assert lm.log.pages_written >= 2
+
+    def test_stable_survivors_visible_to_recovery(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        typical_txn(lm, 1)
+        # No queue processing: nothing drained to disk, yet the records
+        # are durable because stable memory survives the crash.
+        log = lm.durable_log()
+        assert any(isinstance(r, CommitRecord) and r.tid == 1 for r in log)
+
+    def test_flush_forces_partial_page(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        typical_txn(lm, 1)
+        lm.flush()
+        queue.run_to_completion()
+        assert lm.log.pages_written == 1
+        assert lm.stable.pending_records() == []
+
+    def test_compression_reduces_disk_bytes(self, queue):
+        plain = manager(EventQueue(SimulatedClock()), CommitPolicy.STABLE)
+        packed = manager(
+            EventQueue(SimulatedClock()), CommitPolicy.STABLE, compress=True
+        )
+        for lm in (plain, packed):
+            for tid in range(50):
+                typical_txn(lm, tid)
+            lm.flush()
+            lm.queue.run_to_completion()
+        assert packed.bytes_written_to_disk < plain.bytes_written_to_disk
+        ratio = packed.bytes_written_to_disk / plain.bytes_written_to_disk
+        # Old values are ~38% of the typical transaction's bytes.
+        assert 0.55 < ratio < 0.75
+
+    def test_compression_requires_stable(self, queue):
+        with pytest.raises(ValueError):
+            manager(queue, CommitPolicy.GROUP, compress=True)
+
+
+class TestDurableLog:
+    def test_in_lsn_order(self, queue):
+        lm = manager(queue, devices=2)
+        for tid in range(10):
+            typical_txn(lm, tid)
+        lm.flush()
+        queue.run_to_completion()
+        log = lm.durable_log()
+        assert [r.lsn for r in log] == sorted(r.lsn for r in log)
+
+    def test_unflushed_records_invisible(self, queue):
+        lm = manager(queue)
+        typical_txn(lm, 1)
+        # Page not full, never flushed, queue never ran: nothing durable.
+        assert lm.durable_log() == []
+        assert lm.committed_count == 0
+
+    def test_horizon_tracks_durability(self, queue):
+        lm = manager(queue)
+        typical_txn(lm, 1)
+        assert lm.durable_lsn_horizon() < lm.next_lsn() - 1
+        lm.flush()
+        queue.run_to_completion()
+        assert lm.durable_lsn_horizon() == lm.next_lsn() - 1
+
+    def test_stable_horizon_is_everything(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        typical_txn(lm, 1)
+        assert lm.durable_lsn_horizon() == lm.next_lsn() - 1

@@ -1,0 +1,181 @@
+"""Tests for cross product, division, and set operators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.counters import OperationCounters
+from repro.operators.relational import (
+    cross_product,
+    difference,
+    divide,
+    intersect,
+    union_,
+)
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, make_schema
+
+
+def rel(name, rows, fields=("a", "b")):
+    schema = make_schema(*((f, DataType.INTEGER) for f in fields))
+    r = Relation(name, schema, 64)
+    for row in rows:
+        r.insert_unchecked(tuple(row))
+    return r
+
+
+class TestCrossProduct:
+    def test_cardinality_is_product(self):
+        r = rel("r", [(1, 1), (2, 2)])
+        s = rel("s", [(10, 0), (20, 0), (30, 0)], fields=("c", "d"))
+        out = cross_product(r, s)
+        assert out.cardinality == 6
+        assert out.schema.names == ["a", "b", "c", "d"]
+
+    def test_empty_side(self):
+        r = rel("r", [(1, 1)])
+        s = rel("s", [], fields=("c", "d"))
+        assert cross_product(r, s).cardinality == 0
+
+    def test_name_clash_prefixed(self):
+        r = rel("r", [(1, 1)])
+        s = rel("s", [(2, 2)])
+        out = cross_product(r, s)
+        assert out.schema.names == ["r_a", "r_b", "s_a", "s_b"]
+
+    def test_charges_move_per_output(self):
+        counters = OperationCounters()
+        r = rel("r", [(1, 1), (2, 2)])
+        s = rel("s", [(3, 3)], fields=("c", "d"))
+        cross_product(r, s, counters)
+        assert counters.moves == 2
+
+
+class TestDivision:
+    @pytest.fixture
+    def supplies(self):
+        # (supplier, part)
+        return rel(
+            "supplies",
+            [
+                (1, 10), (1, 20), (1, 30),   # supplier 1: all parts
+                (2, 10), (2, 30),            # supplier 2: missing 20
+                (3, 10), (3, 20), (3, 30), (3, 40),  # 3: all + extra
+                (4, 99),                     # 4: irrelevant part only
+            ],
+            fields=("supplier", "part"),
+        )
+
+    @pytest.fixture
+    def parts(self):
+        return rel("parts", [(10,), (20,), (30,)], fields=("part_id",))
+
+    def test_suppliers_of_every_part(self, supplies, parts):
+        out = divide(supplies, parts, ["supplier"], ["part"], ["part_id"])
+        assert sorted(out) == [(1,), (3,)]
+        assert out.schema.names == ["supplier"]
+
+    def test_empty_divisor_returns_all_groups(self, supplies):
+        empty = rel("none", [], fields=("part_id",))
+        out = divide(supplies, empty, ["supplier"], ["part"], ["part_id"])
+        assert sorted(out) == [(1,), (2,), (3,), (4,)]
+
+    def test_duplicates_in_dividend_do_not_overcount(self):
+        dup = rel(
+            "dup",
+            [(1, 10), (1, 10), (1, 10)],  # same pair thrice
+            fields=("supplier", "part"),
+        )
+        parts = rel("parts", [(10,), (20,)], fields=("part_id",))
+        out = divide(dup, parts, ["supplier"], ["part"], ["part_id"])
+        assert out.cardinality == 0  # 20 never supplied
+
+    def test_attribute_arity_checked(self, supplies, parts):
+        with pytest.raises(ValueError):
+            divide(supplies, parts, ["supplier"], ["part", "supplier"],
+                   ["part_id"])
+        with pytest.raises(ValueError):
+            divide(supplies, parts, [], ["part"], ["part_id"])
+
+    def test_division_identity(self):
+        """(R x S) / S == R for distinct R, the algebraic sanity check."""
+        r = rel("r", [(1,), (2,), (3,)], fields=("x",))
+        s = rel("s", [(7,), (8,)], fields=("y",))
+        product = cross_product(r, s)
+        out = divide(product, s, ["x"], ["y"], ["y"])
+        assert sorted(out) == [(1,), (2,), (3,)]
+
+
+class TestSetOperators:
+    def test_union_distinct(self):
+        a = rel("a", [(1, 1), (2, 2)])
+        b = rel("b", [(2, 2), (3, 3)])
+        assert sorted(union_(a, b)) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_union_all(self):
+        a = rel("a", [(1, 1)])
+        b = rel("b", [(1, 1)])
+        assert union_(a, b, distinct=False).cardinality == 2
+
+    def test_intersect(self):
+        a = rel("a", [(1, 1), (2, 2), (2, 2)])
+        b = rel("b", [(2, 2), (3, 3)])
+        assert sorted(intersect(a, b)) == [(2, 2)]
+
+    def test_difference(self):
+        a = rel("a", [(1, 1), (2, 2), (2, 2)])
+        b = rel("b", [(2, 2)])
+        assert sorted(difference(a, b)) == [(1, 1)]
+        assert sorted(difference(b, a)) == []
+
+    def test_incompatible_schemas_rejected(self):
+        a = rel("a", [(1, 1)])
+        schema = make_schema(("x", DataType.STRING), ("y", DataType.INTEGER))
+        b = Relation("b", schema, 64)
+        for op in (union_, intersect, difference):
+            with pytest.raises(ValueError):
+                op(a, b)
+
+    def test_arity_mismatch_rejected(self):
+        a = rel("a", [(1, 1)])
+        b = rel("b", [(1,)], fields=("x",))
+        with pytest.raises(ValueError):
+            union_(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a_rows=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30),
+    b_rows=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30),
+)
+def test_property_set_operators_match_python_sets(a_rows, b_rows):
+    a = rel("a", a_rows)
+    b = rel("b", b_rows)
+    sa, sb = set(a_rows), set(b_rows)
+    assert set(union_(a, b)) == sa | sb
+    assert set(intersect(a, b)) == sa & sb
+    assert set(difference(a, b)) == sa - sb
+    # Each set-semantics output is duplicate free.
+    for out in (union_(a, b), intersect(a, b), difference(a, b)):
+        rows = list(out)
+        assert len(rows) == len(set(rows))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pairs=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 4)), max_size=40),
+    members=st.lists(st.integers(0, 4), max_size=5),
+)
+def test_property_division_matches_definition(pairs, members):
+    dividend = rel("d", pairs, fields=("x", "y"))
+    divisor = rel("m", [(m,) for m in set(members)], fields=("y",))
+    out = divide(dividend, divisor, ["x"], ["y"], ["y"])
+    required = set(members)
+    by_x = {}
+    for x, y in pairs:
+        by_x.setdefault(x, set()).add(y)
+    if required:
+        expected = {x for x, ys in by_x.items() if required <= ys}
+    else:
+        expected = set(by_x)
+    assert {row[0] for row in out} == expected

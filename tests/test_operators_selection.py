@@ -1,0 +1,142 @@
+"""Tests for predicates and selection operators."""
+
+import pytest
+
+from repro.access.btree import BPlusTree
+from repro.access.hash_index import HashIndex
+from repro.cost.counters import OperationCounters
+from repro.operators.selection import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    select,
+    select_via_index,
+)
+
+from tests.conftest import build_relation
+
+
+@pytest.fixture
+def rel():
+    return build_relation("t", range(100))
+
+
+class TestComparison:
+    def test_operators(self, rel):
+        row = (50, 0)
+        schema = rel.schema
+        assert Comparison("key", "=", 50).evaluate(schema, row)
+        assert Comparison("key", "!=", 51).evaluate(schema, row)
+        assert Comparison("key", "<", 51).evaluate(schema, row)
+        assert Comparison("key", "<=", 50).evaluate(schema, row)
+        assert Comparison("key", ">", 49).evaluate(schema, row)
+        assert Comparison("key", ">=", 50).evaluate(schema, row)
+        assert not Comparison("key", ">", 50).evaluate(schema, row)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("key", "~", 1)
+
+    def test_metadata(self):
+        pred = Comparison("key", "=", 5)
+        assert pred.is_equality
+        assert pred.columns() == ["key"]
+        assert pred.comparisons() == 1
+
+
+class TestCombinators:
+    def test_and_or_not(self, rel):
+        schema = rel.schema
+        p = And(Comparison("key", ">=", 10), Comparison("key", "<", 20))
+        assert p.evaluate(schema, (15, 0))
+        assert not p.evaluate(schema, (25, 0))
+        q = Or(Comparison("key", "=", 1), Comparison("key", "=", 2))
+        assert q.evaluate(schema, (2, 0))
+        assert not q.evaluate(schema, (3, 0))
+        n = Not(Comparison("key", "=", 1))
+        assert n.evaluate(schema, (2, 0))
+
+    def test_operator_overloads(self, rel):
+        schema = rel.schema
+        p = Comparison("key", ">", 5) & Comparison("key", "<", 8)
+        assert p.evaluate(schema, (6, 0))
+        q = Comparison("key", "=", 1) | Comparison("key", "=", 2)
+        assert q.evaluate(schema, (1, 0))
+        n = ~Comparison("key", "=", 1)
+        assert n.evaluate(schema, (9, 0))
+
+    def test_comparison_counts_compose(self):
+        p = (Comparison("a", "=", 1) & Comparison("b", "=", 2)) | Comparison(
+            "c", "=", 3
+        )
+        assert p.comparisons() == 3
+        assert sorted(p.columns()) == ["a", "b", "c"]
+
+
+class TestSelect:
+    def test_scan_select(self, rel):
+        out = select(rel, Comparison("key", "<", 10))
+        assert sorted(row[0] for row in out) == list(range(10))
+        assert out.schema == rel.schema
+
+    def test_empty_result(self, rel):
+        out = select(rel, Comparison("key", ">", 1000))
+        assert out.cardinality == 0
+
+    def test_charges_comparisons(self, rel):
+        counters = OperationCounters()
+        select(rel, Comparison("key", "=", 5), counters)
+        assert counters.comparisons == 100
+
+    def test_compound_charges_per_leaf(self, rel):
+        counters = OperationCounters()
+        pred = Comparison("key", ">", 5) & Comparison("key", "<", 10)
+        select(rel, pred, counters)
+        assert counters.comparisons == 200
+
+
+class TestSelectViaIndex:
+    def build_index(self, rel, cls):
+        index = cls()
+        for tid, row in rel.scan():
+            index.insert(row[0], tid)
+        return index
+
+    def test_equality_via_hash(self, rel):
+        index = self.build_index(rel, HashIndex)
+        out = select_via_index(rel, index, Comparison("key", "=", 42))
+        assert list(out) == [(42, 42)]
+
+    def test_equality_via_btree(self, rel):
+        index = self.build_index(rel, BPlusTree)
+        out = select_via_index(rel, index, Comparison("key", "=", 42))
+        assert list(out) == [(42, 42)]
+
+    def test_range_via_btree(self, rel):
+        index = self.build_index(rel, BPlusTree)
+        out = select_via_index(rel, index, Comparison("key", "<=", 5))
+        assert sorted(row[0] for row in out) == [0, 1, 2, 3, 4, 5]
+        out = select_via_index(rel, index, Comparison("key", "<", 5))
+        assert sorted(row[0] for row in out) == [0, 1, 2, 3, 4]
+        out = select_via_index(rel, index, Comparison("key", ">", 97))
+        assert sorted(row[0] for row in out) == [98, 99]
+        out = select_via_index(rel, index, Comparison("key", ">=", 97))
+        assert sorted(row[0] for row in out) == [97, 98, 99]
+
+    def test_range_via_hash_rejected(self, rel):
+        index = self.build_index(rel, HashIndex)
+        with pytest.raises(ValueError):
+            select_via_index(rel, index, Comparison("key", "<", 5))
+
+    def test_inequality_rejected(self, rel):
+        index = self.build_index(rel, BPlusTree)
+        with pytest.raises(ValueError):
+            select_via_index(rel, index, Comparison("key", "!=", 5))
+
+    def test_index_and_scan_agree(self, rel):
+        index = self.build_index(rel, BPlusTree)
+        pred = Comparison("key", ">=", 30)
+        via_index = sorted(select_via_index(rel, index, pred))
+        via_scan = sorted(select(rel, pred))
+        assert via_index == via_scan

@@ -1,0 +1,97 @@
+"""Tests for Selinger-style selectivity estimation."""
+
+import pytest
+
+from repro.operators.selection import And, Comparison, Not, Or
+from repro.planner.selectivity import (
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    estimate_selectivity,
+    join_selectivity,
+)
+from repro.storage.catalog import ColumnStats, RelationStats
+
+
+@pytest.fixture
+def stats():
+    return RelationStats(
+        cardinality=1000,
+        page_count=25,
+        columns={
+            "id": ColumnStats(distinct=1000, minimum=0, maximum=999),
+            "grade": ColumnStats(distinct=5, minimum=1, maximum=5),
+            "name": ColumnStats(distinct=200),
+        },
+    )
+
+
+class TestComparisons:
+    def test_equality_uses_distinct(self, stats):
+        assert estimate_selectivity(
+            Comparison("grade", "=", 3), stats
+        ) == pytest.approx(0.2)
+        assert estimate_selectivity(
+            Comparison("id", "=", 7), stats
+        ) == pytest.approx(0.001)
+
+    def test_equality_fallback(self, stats):
+        pred = Comparison("unknown", "=", 1)
+        assert estimate_selectivity(pred, stats) == DEFAULT_EQUALITY_SELECTIVITY
+
+    def test_inequality_is_complement(self, stats):
+        assert estimate_selectivity(
+            Comparison("grade", "!=", 3), stats
+        ) == pytest.approx(0.8)
+
+    def test_range_uses_min_max(self, stats):
+        assert estimate_selectivity(
+            Comparison("id", "<", 500), stats
+        ) == pytest.approx(500 / 999)
+        assert estimate_selectivity(
+            Comparison("id", ">", 899), stats
+        ) == pytest.approx(100 / 999)
+
+    def test_range_clamped(self, stats):
+        assert estimate_selectivity(Comparison("id", "<", -5), stats) == 0.0
+        assert estimate_selectivity(Comparison("id", ">", -5), stats) == 1.0
+
+    def test_range_fallback_for_strings(self, stats):
+        pred = Comparison("name", "<", "M")
+        assert estimate_selectivity(pred, stats) == DEFAULT_RANGE_SELECTIVITY
+
+    def test_single_valued_column(self):
+        stats = RelationStats(
+            cardinality=10,
+            columns={"c": ColumnStats(distinct=1, minimum=5, maximum=5)},
+        )
+        assert estimate_selectivity(Comparison("c", "<", 10), stats) == 1.0
+        assert estimate_selectivity(Comparison("c", "<", 3), stats) == 0.0
+
+
+class TestCombinators:
+    def test_and_multiplies(self, stats):
+        pred = And(Comparison("grade", "=", 3), Comparison("id", "<", 500))
+        expected = 0.2 * (500 / 999)
+        assert estimate_selectivity(pred, stats) == pytest.approx(expected)
+
+    def test_or_inclusion_exclusion(self, stats):
+        pred = Or(Comparison("grade", "=", 3), Comparison("grade", "=", 4))
+        assert estimate_selectivity(pred, stats) == pytest.approx(
+            0.2 + 0.2 - 0.04
+        )
+
+    def test_not_complements(self, stats):
+        pred = Not(Comparison("grade", "=", 3))
+        assert estimate_selectivity(pred, stats) == pytest.approx(0.8)
+
+    def test_never_exceeds_one(self, stats):
+        pred = Or(Comparison("id", ">", -5), Comparison("id", ">", -5))
+        assert estimate_selectivity(pred, stats) <= 1.0
+
+
+class TestJoinSelectivity:
+    def test_uses_larger_domain(self):
+        assert join_selectivity(100, 1000) == pytest.approx(0.001)
+
+    def test_guards_against_zero(self):
+        assert join_selectivity(0, 0) == 1.0

@@ -1,0 +1,67 @@
+"""Tests for log records and the paper's byte sizing."""
+
+import pytest
+
+from repro.recovery.records import (
+    DEFAULT_SIZING,
+    AbortRecord,
+    BeginRecord,
+    CommitRecord,
+    RecordSizing,
+    UpdateRecord,
+)
+
+
+class TestSizing:
+    def test_update_record_size(self):
+        assert DEFAULT_SIZING.update_bytes == 24 + 120
+
+    def test_compressed_drops_one_image(self):
+        assert DEFAULT_SIZING.compressed_update_bytes == 24 + 60
+        saving = DEFAULT_SIZING.update_bytes - DEFAULT_SIZING.compressed_update_bytes
+        # "approximately half of the size of the log stores the old values"
+        assert saving == 60
+
+    def test_typical_transaction_near_400_bytes(self):
+        """Section 5.1: a typical transaction writes ~400 bytes of log."""
+        total = DEFAULT_SIZING.typical_transaction_bytes(updates=3)
+        assert 350 <= total <= 500
+
+    def test_ten_typical_transactions_fit_one_page(self):
+        """The arithmetic behind 1000 tps group commit: ~10 transactions
+        per 4096-byte log page."""
+        per_txn = DEFAULT_SIZING.typical_transaction_bytes(updates=3)
+        assert 8 <= DEFAULT_SIZING.page_bytes // per_txn <= 12
+
+
+class TestRecordSizes:
+    def test_sizes_dispatch_by_type(self):
+        s = DEFAULT_SIZING
+        assert BeginRecord(tid=1).size(s) == s.begin_bytes
+        assert CommitRecord(tid=1).size(s) == s.commit_bytes
+        assert AbortRecord(tid=1).size(s) == s.abort_bytes
+        assert UpdateRecord(tid=1, record_id=0).size(s) == s.update_bytes
+
+    def test_compressed_size(self):
+        rec = UpdateRecord(tid=1, record_id=0, old_value=1, new_value=2)
+        assert rec.compressed_size(DEFAULT_SIZING) == 84
+
+    def test_base_record_size_abstract(self):
+        from repro.recovery.records import LogRecord
+
+        with pytest.raises(NotImplementedError):
+            LogRecord(tid=1).size(DEFAULT_SIZING)
+
+    def test_lsn_defaults_unassigned(self):
+        assert BeginRecord(tid=1).lsn == -1
+
+    def test_update_carries_images(self):
+        rec = UpdateRecord(tid=3, record_id=17, old_value="a", new_value="b")
+        assert (rec.tid, rec.record_id) == (3, 17)
+        assert (rec.old_value, rec.new_value) == ("a", "b")
+
+
+def test_custom_sizing():
+    sizing = RecordSizing(value_bytes=100, page_bytes=8192)
+    assert sizing.update_bytes == 224
+    assert UpdateRecord(tid=1).size(sizing) == 224

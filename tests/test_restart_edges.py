@@ -1,0 +1,139 @@
+"""Edge-case tests for crash capture and restart recovery."""
+
+import pytest
+
+from repro.recovery.checkpoint import Checkpointer
+from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.restart import (
+    CrashState,
+    crash,
+    recover,
+    replay_committed,
+)
+from repro.recovery.records import RecordSizing
+from repro.recovery.state import DatabaseState, DiskSnapshot
+from repro.recovery.transactions import TransactionEngine
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+def fresh_engine(n_records=40, initial=9):
+    queue = EventQueue(SimulatedClock())
+    state = DatabaseState(n_records, records_per_page=8, initial_value=initial)
+    lm = LogManager(queue, policy=CommitPolicy.GROUP)
+    return queue, state, lm, TransactionEngine(state, queue, lm)
+
+
+class TestEmptyAndTrivialCrashes:
+    def test_crash_before_any_work(self):
+        queue, state, lm, engine = fresh_engine()
+        out = recover(crash(engine), initial_value=9)
+        assert out.state.values == [9] * 40
+        assert out.seconds >= 0
+        assert out.log_records_scanned == 0
+
+    def test_crash_with_only_reads(self):
+        queue, state, lm, engine = fresh_engine()
+        engine.submit([("read", 0), ("read", 1)])
+        lm.flush()
+        queue.run_to_completion()
+        out = recover(crash(engine), initial_value=9)
+        assert out.state.values == [9] * 40
+        assert out.updates_redone == 0
+
+    def test_double_crash_same_state(self):
+        queue, state, lm, engine = fresh_engine()
+        engine.submit([("write", 3, 77)])
+        lm.flush()
+        queue.run_to_completion()
+        a = recover(crash(engine), initial_value=9)
+        b = recover(crash(engine), initial_value=9)
+        assert a.state.values == b.state.values
+
+
+class TestSnapshotInteraction:
+    def test_recovery_with_snapshot_only_no_log(self):
+        """Checkpoint everything, truncate the entire durable log: the
+        snapshot alone restores the committed state."""
+        queue, state, lm, engine = fresh_engine()
+        snap = DiskSnapshot()
+        ck = Checkpointer(engine, snap, interval=10.0)
+        engine.submit([("write", 0, 1)])
+        engine.submit([("write", 20, 2)])
+        lm.flush()
+        queue.run_to_completion()
+        ck.checkpoint_now()
+        queue.run_until(queue.clock.now + 10)
+        cs = crash(engine, ck)
+        bound = min(cs.dirty_first_lsn.values()) if cs.dirty_first_lsn else (
+            lm.next_lsn()
+        )
+        lm.truncate_before(bound)
+        cs2 = crash(engine, ck)
+        out = recover(cs2, initial_value=9)
+        assert out.state.read(0) == 1
+        assert out.state.read(20) == 2
+
+    def test_snapshot_newer_than_log_suffix(self):
+        """Pages checkpointed after the last durable log record: recovery
+        must not 'redo' anything below the snapshot LSNs."""
+        queue, state, lm, engine = fresh_engine()
+        snap = DiskSnapshot()
+        ck = Checkpointer(engine, snap, interval=10.0)
+        for v in (5, 6, 7):
+            engine.submit([("write", 0, v)])
+        lm.flush()
+        queue.run_to_completion()
+        ck.checkpoint_now()
+        queue.run_until(queue.clock.now + 10)
+        out = recover(crash(engine, ck), initial_value=9)
+        assert out.state.read(0) == 7
+        assert out.updates_redone == 0  # snapshot already covers them
+
+    def test_without_checkpointer_snapshot_is_empty(self):
+        queue, state, lm, engine = fresh_engine()
+        engine.submit([("write", 0, 1)])
+        lm.flush()
+        queue.run_to_completion()
+        cs = crash(engine)  # no checkpointer passed
+        assert cs.snapshot.page_count == 0
+        out = recover(cs, initial_value=9)
+        assert out.state.read(0) == 1
+
+
+class TestCrashStateIntrospection:
+    def test_committed_and_aborted_sets(self):
+        queue, state, lm, engine = fresh_engine()
+        from repro.recovery.lock_table import LockMode
+
+        ok = engine.submit([("write", 0, 1)])
+        engine.locks.acquire(999, 5, LockMode.EXCLUSIVE)
+        bad = engine.submit([("write", 1, 2), ("write", 5, 0)])
+        engine.abort(bad)
+        lm.flush()
+        queue.run_to_completion()
+        cs = crash(engine)
+        assert ok.tid in cs.committed_tids
+        assert bad.tid in cs.resolved_abort_tids
+        assert bad.tid not in cs.committed_tids
+
+    def test_crash_state_is_self_contained(self):
+        """Recovery must work from the CrashState alone (a fresh process
+        could deserialize it)."""
+        queue, state, lm, engine = fresh_engine()
+        engine.submit([("write", 7, 70)])
+        lm.flush()
+        queue.run_to_completion()
+        cs = crash(engine)
+        rebuilt = CrashState(
+            snapshot=cs.snapshot,
+            durable_log=list(cs.durable_log),
+            n_records=cs.n_records,
+            records_per_page=cs.records_per_page,
+            sizing=RecordSizing(),
+            crashed_at=cs.crashed_at,
+            dirty_first_lsn=dict(cs.dirty_first_lsn),
+        )
+        out = recover(rebuilt, initial_value=9)
+        assert out.state.read(7) == 70
+        assert out.state.values == replay_committed(cs, initial_value=9).values

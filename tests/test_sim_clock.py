@@ -1,0 +1,70 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimulatedClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimulatedClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimulatedClock(5.5).now == 5.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimulatedClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = SimulatedClock()
+    assert clock.advance(0.25) == 0.25
+    assert clock.advance(0.25) == 0.5
+    assert clock.now == 0.5
+
+
+def test_advance_by_zero_is_allowed():
+    clock = SimulatedClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_negative_advance_rejected():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_absolute_time():
+    clock = SimulatedClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimulatedClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_rewind_rejected():
+    clock = SimulatedClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.999)
+
+
+def test_reset():
+    clock = SimulatedClock()
+    clock.advance(100.0)
+    clock.reset()
+    assert clock.now == 0.0
+    clock.reset(7.0)
+    assert clock.now == 7.0
+
+
+def test_reset_negative_rejected():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.reset(-2.0)

@@ -1,0 +1,90 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimulatedClock())
+
+
+def test_events_run_in_time_order(queue):
+    log = []
+    queue.schedule(0.3, lambda: log.append("c"))
+    queue.schedule(0.1, lambda: log.append("a"))
+    queue.schedule(0.2, lambda: log.append("b"))
+    queue.run_to_completion()
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order(queue):
+    log = []
+    queue.schedule(0.5, lambda: log.append(1))
+    queue.schedule(0.5, lambda: log.append(2))
+    queue.schedule(0.5, lambda: log.append(3))
+    queue.run_to_completion()
+    assert log == [1, 2, 3]
+
+
+def test_clock_advances_to_event_time(queue):
+    seen = []
+    queue.schedule(0.7, lambda: seen.append(queue.clock.now))
+    queue.run_to_completion()
+    assert seen == [0.7]
+
+
+def test_run_until_stops_at_deadline(queue):
+    log = []
+    queue.schedule(0.1, lambda: log.append("early"))
+    queue.schedule(5.0, lambda: log.append("late"))
+    ran = queue.run_until(1.0)
+    assert ran == 1
+    assert log == ["early"]
+    assert queue.clock.now == 1.0  # deadline reached even when queue idles
+    assert len(queue) == 1  # late event still pending
+
+
+def test_events_can_schedule_events(queue):
+    log = []
+
+    def first():
+        log.append("first")
+        queue.schedule(0.1, lambda: log.append("second"))
+
+    queue.schedule(0.1, first)
+    queue.run_to_completion()
+    assert log == ["first", "second"]
+    assert queue.clock.now == pytest.approx(0.2)
+
+
+def test_step_returns_none_when_idle(queue):
+    assert queue.step() is None
+
+
+def test_scheduling_in_past_rejected(queue):
+    queue.clock.advance(1.0)
+    with pytest.raises(ValueError):
+        queue.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        queue.schedule(-0.1, lambda: None)
+
+
+def test_processed_counter(queue):
+    for i in range(5):
+        queue.schedule(0.01 * (i + 1), lambda: None)
+    queue.run_to_completion()
+    assert queue.processed == 5
+
+
+def test_runaway_guard():
+    queue = EventQueue(SimulatedClock())
+
+    def respawn():
+        queue.schedule(0.001, respawn)
+
+    queue.schedule(0.001, respawn)
+    with pytest.raises(RuntimeError):
+        queue.run_to_completion(max_events=100)

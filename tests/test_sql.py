@@ -1,0 +1,192 @@
+"""Tests for the SQL front end."""
+
+import pytest
+
+from repro import DataType, MainMemoryDatabase
+from repro.planner.sql import SqlError, parse_sql
+
+
+@pytest.fixture
+def db():
+    db = MainMemoryDatabase()
+    db.create_table(
+        "emp",
+        [
+            ("emp_id", DataType.INTEGER),
+            ("name", DataType.STRING),
+            ("salary", DataType.INTEGER),
+            ("dept", DataType.INTEGER),
+        ],
+    )
+    rows = [
+        (1, "Jones", 52_000, 1),
+        (2, "Smith", 61_000, 1),
+        (3, "Johnson", 48_000, 2),
+        (4, "Jackson", 75_000, 2),
+        (5, "Miller", 55_000, 3),
+        (6, "Joyce", 44_000, 3),
+    ]
+    for row in rows:
+        db.insert("emp", row)
+    db.create_table(
+        "dept", [("dept_id", DataType.INTEGER), ("dname", DataType.STRING)]
+    )
+    for row in [(1, "toys"), (2, "tools"), (3, "books")]:
+        db.insert("dept", row)
+    db.analyze()
+    return db
+
+
+class TestBasicSelect:
+    def test_select_star(self, db):
+        out = db.sql("SELECT * FROM emp")
+        assert out.cardinality == 6
+        assert out.schema.names == ["emp_id", "name", "salary", "dept"]
+
+    def test_projection(self, db):
+        out = db.sql("SELECT name, salary FROM emp")
+        assert out.schema.names == ["name", "salary"]
+        assert out.cardinality == 6
+
+    def test_distinct(self, db):
+        out = db.sql("SELECT DISTINCT dept FROM emp")
+        assert sorted(out) == [(1,), (2,), (3,)]
+
+    def test_where_comparison(self, db):
+        out = db.sql("SELECT name FROM emp WHERE salary > 54000")
+        assert {r[0] for r in out} == {"Smith", "Jackson", "Miller"}
+
+    def test_where_string_equality(self, db):
+        out = db.sql("SELECT emp_id FROM emp WHERE name = 'Jones'")
+        assert list(out) == [(1,)]
+
+    def test_where_like_prefix(self, db):
+        out = db.sql("SELECT name FROM emp WHERE name LIKE 'J%'")
+        assert {r[0] for r in out} == {"Jones", "Johnson", "Jackson", "Joyce"}
+
+    def test_where_conjunction(self, db):
+        out = db.sql(
+            "SELECT name FROM emp WHERE salary >= 48000 AND dept = 2"
+        )
+        assert {r[0] for r in out} == {"Johnson", "Jackson"}
+
+    def test_parenthesised_or(self, db):
+        out = db.sql(
+            "SELECT name FROM emp WHERE (dept = 1 OR dept = 3) "
+            "AND salary < 56000"
+        )
+        assert {r[0] for r in out} == {"Jones", "Miller", "Joyce"}
+
+    def test_not_predicate(self, db):
+        out = db.sql("SELECT name FROM emp WHERE NOT dept = 2")
+        assert out.cardinality == 4
+
+    def test_not_equal_operators(self, db):
+        a = db.sql("SELECT name FROM emp WHERE dept != 2")
+        b = db.sql("SELECT name FROM emp WHERE dept <> 2")
+        assert sorted(a) == sorted(b)
+
+    def test_string_escaping(self, db):
+        db.insert("emp", (7, "O''Hara".replace("''", "'"), 40_000, 1))
+        out = db.sql("SELECT emp_id FROM emp WHERE name = 'O''Hara'")
+        assert list(out) == [(7,)]
+
+
+class TestJoins:
+    def test_join_on(self, db):
+        out = db.sql(
+            "SELECT name, dname FROM emp "
+            "JOIN dept ON emp.dept = dept.dept_id"
+        )
+        assert out.cardinality == 6
+        assert out.schema.names == ["name", "dname"]
+
+    def test_implicit_join_in_where(self, db):
+        explicit = db.sql(
+            "SELECT name, dname FROM emp JOIN dept ON emp.dept = dept.dept_id"
+        )
+        implicit = db.sql(
+            "SELECT name, dname FROM emp, dept WHERE dept = dept_id"
+        )
+        assert sorted(explicit) == sorted(implicit)
+
+    def test_join_with_filter(self, db):
+        out = db.sql(
+            "SELECT name, dname FROM emp "
+            "JOIN dept ON emp.dept = dept.dept_id "
+            "WHERE salary > 54000 AND dname = 'toys'"
+        )
+        assert list(out) == [("Smith", "toys")]
+
+    def test_qualified_columns(self, db):
+        out = db.sql(
+            "SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.dept_id "
+            "WHERE dept.dname = 'books'"
+        )
+        assert {r[0] for r in out} == {"Miller", "Joyce"}
+
+
+class TestAggregates:
+    def test_group_by(self, db):
+        out = db.sql(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) AS mean "
+            "FROM emp GROUP BY dept"
+        )
+        got = {row[0]: (row[1], row[2]) for row in out}
+        assert got[1] == (2, pytest.approx(56_500))
+        assert got[3] == (2, pytest.approx(49_500))
+
+    def test_aggregate_without_group_by(self, db):
+        out = db.sql("SELECT dept, MAX(salary) FROM emp GROUP BY dept")
+        got = dict(out)
+        assert got[2] == 75_000
+
+    def test_count_star_and_column(self, db):
+        out = db.sql("SELECT dept, COUNT(salary) FROM emp GROUP BY dept")
+        assert sum(row[1] for row in out) == 6
+
+    def test_join_then_aggregate(self, db):
+        out = db.sql(
+            "SELECT dname, SUM(salary) AS payroll FROM emp "
+            "JOIN dept ON emp.dept = dept.dept_id GROUP BY dname"
+        )
+        got = dict(out)
+        assert got["toys"] == pytest.approx(113_000)
+
+    def test_explain_sql(self, db):
+        text = db.sql_explain(
+            "SELECT dname, COUNT(*) FROM emp "
+            "JOIN dept ON emp.dept = dept.dept_id GROUP BY dname"
+        )
+        assert "Aggregate" in text and "Join" in text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",                                   # truncated
+            "SELECT * FROM nope",                       # unknown table
+            "SELECT wat FROM emp",                      # unknown column
+            "SELECT * FROM emp WHERE name LIKE '%J'",   # non-prefix LIKE
+            "SELECT * FROM emp WHERE name LIKE 'a%b%'", # multiple %
+            "SELECT name, SUM(salary) FROM emp GROUP BY dept",  # col not grouped
+            "SELECT name FROM emp GROUP BY name",       # group w/o aggregates
+            "SELECT * FROM emp, emp",                   # duplicate table
+            "SELECT * FROM emp WHERE salary >",         # missing literal
+            "SELECT *, COUNT(*) FROM emp",              # star + aggregate
+            "SELECT * FROM emp JOIN dept ON dept = salary",  # join within... resolves
+        ],
+    )
+    def test_rejected(self, db, bad):
+        with pytest.raises(SqlError):
+            db.sql(bad)
+
+    def test_ambiguous_column(self, db):
+        db.create_table("emp2", [("name", DataType.STRING)])
+        with pytest.raises(SqlError):
+            parse_sql("SELECT name FROM emp, emp2", db.catalog)
+
+    def test_sum_star_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.sql("SELECT dept, SUM(*) FROM emp GROUP BY dept")

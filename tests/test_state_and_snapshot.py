@@ -1,0 +1,88 @@
+"""Tests for the recovery database image and disk snapshot."""
+
+import pytest
+
+from repro.recovery.state import DatabaseState, DiskSnapshot, PageImage
+
+
+class TestDatabaseState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseState(0)
+        with pytest.raises(ValueError):
+            DatabaseState(10, records_per_page=0)
+
+    def test_page_geometry(self):
+        state = DatabaseState(100, records_per_page=16)
+        assert state.page_count == 7
+        assert state.page_of(0) == 0
+        assert state.page_of(15) == 0
+        assert state.page_of(16) == 1
+        assert state.page_of(99) == 6
+        with pytest.raises(IndexError):
+            state.page_of(100)
+
+    def test_page_records_range(self):
+        state = DatabaseState(100, records_per_page=16)
+        assert state.page_records(0) == (0, 16)
+        assert state.page_records(6) == (96, 100)  # partial last page
+
+    def test_write_updates_lsn_and_dirty(self):
+        state = DatabaseState(32, records_per_page=16, initial_value=5)
+        old = state.write(3, 42, lsn=7)
+        assert old == 5
+        assert state.read(3) == 42
+        assert state.page_lsn[0] == 7
+        assert state.dirty == {0}
+
+    def test_total_balance(self):
+        state = DatabaseState(10, initial_value=3)
+        assert state.total_balance() == 30
+        state.write(0, 13, lsn=1)
+        assert state.total_balance() == 40
+
+    def test_copy_page_is_immutable_snapshot(self):
+        state = DatabaseState(32, records_per_page=16, initial_value=0)
+        state.write(1, 9, lsn=4)
+        image = state.copy_page(0)
+        state.write(1, 99, lsn=5)
+        assert image.values[1] == 9
+        assert image.page_lsn == 4
+
+
+class TestDiskSnapshot:
+    def test_install_and_load(self):
+        state = DatabaseState(32, records_per_page=16, initial_value=0)
+        state.write(2, 7, lsn=3)
+        snap = DiskSnapshot()
+        snap.install(state.copy_page(0), timestamp=1.0)
+
+        fresh = DatabaseState(32, records_per_page=16, initial_value=0)
+        snap.load_into(fresh)
+        assert fresh.read(2) == 7
+        assert fresh.page_lsn[0] == 3
+        assert fresh.page_lsn[1] == -1  # never checkpointed
+        assert fresh.dirty == set()
+
+    def test_install_refuses_to_regress(self):
+        snap = DiskSnapshot()
+        newer = PageImage(page_id=0, values=[1] * 16, page_lsn=10)
+        older = PageImage(page_id=0, values=[0] * 16, page_lsn=5)
+        snap.install(newer, timestamp=2.0)
+        snap.install(older, timestamp=3.0)  # late out-of-order install
+        assert snap.pages[0].page_lsn == 10
+
+    def test_install_same_lsn_overwrites(self):
+        snap = DiskSnapshot()
+        a = PageImage(page_id=0, values=[1] * 16, page_lsn=5)
+        b = PageImage(page_id=0, values=[2] * 16, page_lsn=5)
+        snap.install(a, 1.0)
+        snap.install(b, 2.0)
+        assert snap.pages[0].values[0] == 2
+
+    def test_page_count(self):
+        snap = DiskSnapshot()
+        assert snap.page_count == 0
+        snap.install(PageImage(0, [0] * 16, 1), 0.1)
+        snap.install(PageImage(3, [0] * 16, 2), 0.2)
+        assert snap.page_count == 2

@@ -1,0 +1,135 @@
+"""Tests for the buffer pool, including the Section 2 fault-rate model."""
+
+import random
+
+import pytest
+
+from repro.storage.buffer import BufferPool, ReplacementPolicy
+
+
+class TestBasics:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_first_access_faults(self):
+        pool = BufferPool(4)
+        assert pool.access("p1") is False
+        assert pool.faults == 1
+
+    def test_second_access_hits(self):
+        pool = BufferPool(4)
+        pool.access("p1")
+        assert pool.access("p1") is True
+        assert pool.hits == 1
+
+    def test_eviction_at_capacity(self):
+        pool = BufferPool(2, policy=ReplacementPolicy.FIFO)
+        pool.access("a")
+        pool.access("b")
+        pool.access("c")  # evicts "a" (FIFO)
+        assert pool.resident == 2
+        assert not pool.contains("a")
+        assert pool.contains("b") and pool.contains("c")
+
+    def test_fault_rate(self):
+        pool = BufferPool(10)
+        for _ in range(2):
+            for p in range(5):
+                pool.access(p)
+        assert pool.fault_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.reset_stats()
+        assert pool.accesses == 0
+
+    def test_on_fault_callback(self):
+        faults = []
+        pool = BufferPool(2, on_fault=faults.append)
+        pool.access("a")
+        pool.access("a")
+        pool.access("b")
+        assert faults == ["a", "b"]
+
+
+class TestPolicies:
+    def test_lru_refreshes_recency(self):
+        pool = BufferPool(2, policy=ReplacementPolicy.LRU)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")  # refresh a
+        pool.access("c")  # evicts b (LRU), not a
+        assert pool.contains("a")
+        assert not pool.contains("b")
+
+    def test_fifo_ignores_recency(self):
+        pool = BufferPool(2, policy=ReplacementPolicy.FIFO)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")  # hit, but FIFO order unchanged
+        pool.access("c")  # evicts a (oldest insertion)
+        assert not pool.contains("a")
+        assert pool.contains("b")
+
+    def test_random_is_seeded(self):
+        def run(seed):
+            pool = BufferPool(3, policy=ReplacementPolicy.RANDOM, seed=seed)
+            for p in range(100):
+                pool.access(p % 7)
+            return pool.faults
+
+        assert run(1) == run(1)
+
+
+class TestSectionTwoFaultModel:
+    def test_random_replacement_matches_closed_form(self):
+        """Section 2's model: uniform access to S pages through |M| frames
+        with random replacement faults at ~(1 - |M|/S)."""
+        total_pages = 200
+        memory = 80
+        pool = BufferPool(memory, policy=ReplacementPolicy.RANDOM, seed=9)
+        rng = random.Random(4)
+        # warm up
+        for _ in range(5000):
+            pool.access(rng.randrange(total_pages))
+        pool.reset_stats()
+        for _ in range(20000):
+            pool.access(rng.randrange(total_pages))
+        predicted = 1 - memory / total_pages
+        assert pool.fault_rate == pytest.approx(predicted, abs=0.03)
+
+    def test_no_faults_when_everything_fits(self):
+        pool = BufferPool(100)
+        for _ in range(3):
+            for p in range(50):
+                pool.access(p)
+        assert pool.faults == 50  # only the cold misses
+
+
+class TestDirtyTracking:
+    def test_dirty_pages_listed(self):
+        pool = BufferPool(4)
+        pool.access("a", dirty=True)
+        pool.access("b")
+        assert pool.dirty_pages() == ["a"]
+
+    def test_dirty_sticks_across_clean_access(self):
+        pool = BufferPool(4)
+        pool.access("a", dirty=True)
+        pool.access("a", dirty=False)
+        assert pool.dirty_pages() == ["a"]
+
+    def test_mark_clean(self):
+        pool = BufferPool(4)
+        pool.access("a", dirty=True)
+        pool.mark_clean("a")
+        assert pool.dirty_pages() == []
+
+    def test_pin_all_does_not_count(self):
+        pool = BufferPool(4)
+        pool.pin_all(["a", "b"])
+        assert pool.accesses == 0
+        assert pool.resident == 2
+        assert pool.access("a") is True

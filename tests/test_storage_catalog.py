@@ -1,0 +1,127 @@
+"""Tests for the catalog and its optimizer statistics."""
+
+import pytest
+
+from repro.storage.catalog import Catalog, ColumnStats
+from repro.storage.relation import Relation
+from repro.storage.tuples import DataType, make_schema
+
+
+@pytest.fixture
+def catalog():
+    return Catalog()
+
+
+@pytest.fixture
+def table():
+    rel = Relation(
+        "t", make_schema(("k", DataType.INTEGER), ("v", DataType.INTEGER)), 64
+    )
+    for i in range(100):
+        rel.insert((i, i % 10))
+    return rel
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, catalog, table):
+        catalog.register(table)
+        assert catalog.relation("t") is table
+        assert catalog.has_relation("t")
+        assert catalog.relations() == ["t"]
+
+    def test_duplicate_rejected(self, catalog, table):
+        catalog.register(table)
+        with pytest.raises(ValueError):
+            catalog.register(table)
+
+    def test_missing_lookup(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.relation("nope")
+
+    def test_drop_removes_everything(self, catalog, table):
+        catalog.register(table)
+        catalog.register_index("t", "k", object())
+        catalog.analyze("t")
+        catalog.drop("t")
+        assert not catalog.has_relation("t")
+        assert catalog.index("t", "k") is None
+        with pytest.raises(KeyError):
+            catalog.drop("t")
+
+
+class TestIndexes:
+    def test_register_and_find(self, catalog, table):
+        catalog.register(table)
+        idx = object()
+        catalog.register_index("t", "k", idx)
+        assert catalog.index("t", "k") is idx
+        assert catalog.indexes_on("t") == {"k": idx}
+
+    def test_duplicate_index_rejected(self, catalog, table):
+        catalog.register(table)
+        catalog.register_index("t", "k", object())
+        with pytest.raises(ValueError):
+            catalog.register_index("t", "k", object())
+
+    def test_index_on_missing_table_rejected(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.register_index("nope", "k", object())
+
+    def test_drop_index(self, catalog, table):
+        catalog.register(table)
+        catalog.register_index("t", "k", object())
+        catalog.drop_index("t", "k")
+        assert catalog.index("t", "k") is None
+        with pytest.raises(KeyError):
+            catalog.drop_index("t", "k")
+
+
+class TestStatistics:
+    def test_analyze_counts(self, catalog, table):
+        catalog.register(table)
+        stats = catalog.analyze("t")
+        assert stats.cardinality == 100
+        assert stats.page_count == table.page_count
+        assert stats.column("k").distinct == 100
+        assert stats.column("v").distinct == 10
+        assert stats.column("k").minimum == 0
+        assert stats.column("k").maximum == 99
+
+    def test_stats_lazily_analyzes(self, catalog, table):
+        catalog.register(table)
+        assert catalog.stats("t").cardinality == 100
+
+    def test_stats_are_a_snapshot(self, catalog, table):
+        catalog.register(table)
+        catalog.analyze("t")
+        table.insert((999, 0))
+        assert catalog.stats("t").cardinality == 100  # stale until re-analyze
+        assert catalog.analyze("t").cardinality == 101
+
+    def test_empty_relation_stats(self, catalog):
+        rel = Relation("e", make_schema(("k", DataType.INTEGER)), 64)
+        catalog.register(rel)
+        stats = catalog.analyze("e")
+        assert stats.cardinality == 0
+        assert stats.column("k").distinct == 0
+
+
+class TestColumnStats:
+    def test_equality_selectivity(self):
+        col = ColumnStats(distinct=20)
+        assert col.selectivity_equals(1000) == pytest.approx(0.05)
+
+    def test_equality_without_stats(self):
+        assert ColumnStats().selectivity_equals(1000) == 1.0
+
+    def test_range_selectivity_uniform(self):
+        col = ColumnStats(distinct=100, minimum=0, maximum=100)
+        assert col.selectivity_range(25, 75) == pytest.approx(0.5)
+
+    def test_range_clamps(self):
+        col = ColumnStats(distinct=100, minimum=0, maximum=100)
+        assert col.selectivity_range(-50, 200) == 1.0
+        assert col.selectivity_range(200, 300) == 0.0
+
+    def test_range_without_stats_defaults(self):
+        assert ColumnStats().selectivity_range(1, 2) == 0.5

@@ -1,0 +1,123 @@
+"""Tests for schemas and tuple validation."""
+
+import pytest
+
+from repro.storage.tuples import DataType, Field, Schema, make_schema
+
+
+class TestDataType:
+    def test_integer_accepts_ints_only(self):
+        assert DataType.INTEGER.validate(5)
+        assert not DataType.INTEGER.validate(5.0)
+        assert not DataType.INTEGER.validate("5")
+        assert not DataType.INTEGER.validate(True)  # bools are not ints here
+
+    def test_float_accepts_numbers(self):
+        assert DataType.FLOAT.validate(5)
+        assert DataType.FLOAT.validate(5.5)
+        assert not DataType.FLOAT.validate("x")
+        assert not DataType.FLOAT.validate(False)
+
+    def test_string(self):
+        assert DataType.STRING.validate("abc")
+        assert not DataType.STRING.validate(3)
+
+
+class TestField:
+    def test_default_widths(self):
+        assert Field("a", DataType.INTEGER).width == 4
+        assert Field("b", DataType.FLOAT).width == 8
+        assert Field("c", DataType.STRING).width == 16
+
+    def test_explicit_width(self):
+        assert Field("name", DataType.STRING, width=24).width == 24
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Field("", DataType.INTEGER)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Field("a", DataType.INTEGER, width=-1)
+
+
+class TestSchema:
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema(("a", DataType.INTEGER), ("a", DataType.FLOAT))
+
+    def test_tuple_bytes_sums_widths(self):
+        s = Schema(
+            [
+                Field("id", DataType.INTEGER),  # 4
+                Field("name", DataType.STRING, width=20),
+                Field("score", DataType.FLOAT),  # 8
+            ]
+        )
+        assert s.tuple_bytes == 32
+
+    def test_tuples_per_page(self):
+        s = make_schema(("a", DataType.INTEGER), ("b", DataType.INTEGER))  # 8B
+        assert s.tuples_per_page(4096) == 512
+
+    def test_tuple_too_wide_for_page(self):
+        s = Schema([Field("blob", DataType.STRING, width=8192)])
+        with pytest.raises(ValueError):
+            s.tuples_per_page(4096)
+
+    def test_index_of_and_field(self):
+        s = make_schema(("x", DataType.INTEGER), ("y", DataType.FLOAT))
+        assert s.index_of("y") == 1
+        assert s.field("x").dtype is DataType.INTEGER
+        assert s.has_field("x") and not s.has_field("z")
+        with pytest.raises(KeyError):
+            s.index_of("nope")
+
+    def test_validate_checks_arity(self):
+        s = make_schema(("x", DataType.INTEGER), ("y", DataType.INTEGER))
+        with pytest.raises(ValueError):
+            s.validate((1,))
+
+    def test_validate_checks_types(self):
+        s = make_schema(("x", DataType.INTEGER))
+        with pytest.raises(TypeError):
+            s.validate(("not-an-int",))
+
+    def test_validate_returns_plain_tuple(self):
+        s = make_schema(("x", DataType.INTEGER))
+        assert s.validate([7]) == (7,)
+
+    def test_project_preserves_order_and_width(self):
+        s = Schema(
+            [
+                Field("a", DataType.INTEGER),
+                Field("b", DataType.STRING, width=10),
+                Field("c", DataType.FLOAT),
+            ]
+        )
+        p = s.project(["c", "a"])
+        assert p.names == ["c", "a"]
+        assert p.tuple_bytes == 12
+
+    def test_concat_plain(self):
+        left = make_schema(("a", DataType.INTEGER))
+        right = make_schema(("b", DataType.INTEGER))
+        joined = left.concat(right)
+        assert joined.names == ["a", "b"]
+
+    def test_concat_with_prefixes(self):
+        left = make_schema(("key", DataType.INTEGER))
+        right = make_schema(("key", DataType.INTEGER))
+        joined = left.concat(right, prefix_self="r_", prefix_other="s_")
+        assert joined.names == ["r_key", "s_key"]
+
+    def test_equality_and_hash(self):
+        a = make_schema(("x", DataType.INTEGER))
+        b = make_schema(("x", DataType.INTEGER))
+        c = make_schema(("y", DataType.INTEGER))
+        assert a == b and hash(a) == hash(b)
+        assert a != c

@@ -1,0 +1,183 @@
+"""Tests for the transaction engine."""
+
+import pytest
+
+from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.state import DatabaseState
+from repro.recovery.transactions import TransactionEngine, TransactionState
+from repro.sim.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def setup():
+    clock = SimulatedClock()
+    queue = EventQueue(clock)
+    state = DatabaseState(n_records=100, records_per_page=16, initial_value=10)
+    lm = LogManager(queue, policy=CommitPolicy.GROUP)
+    engine = TransactionEngine(state, queue, lm)
+    return queue, state, lm, engine
+
+
+def finish(queue, lm):
+    lm.flush()
+    queue.run_to_completion()
+
+
+class TestExecution:
+    def test_simple_write(self, setup):
+        queue, state, lm, engine = setup
+        txn = engine.submit([("write", 0, 99)])
+        finish(queue, lm)
+        assert txn.state is TransactionState.COMMITTED
+        assert state.read(0) == 99
+
+    def test_read_collects_values(self, setup):
+        queue, state, lm, engine = setup
+        txn = engine.submit([("read", 3), ("read", 5)])
+        finish(queue, lm)
+        assert txn.reads == {3: 10, 5: 10}
+
+    def test_callable_write_sees_current_value(self, setup):
+        queue, state, lm, engine = setup
+        engine.submit([("write", 0, lambda v: v + 5)])
+        engine.submit([("write", 0, lambda v: v * 2)])
+        finish(queue, lm)
+        assert state.read(0) == 30
+
+    def test_unknown_operation_rejected(self, setup):
+        queue, state, lm, engine = setup
+        with pytest.raises(ValueError):
+            engine.submit([("frobnicate", 0)])
+
+    def test_commit_latency_recorded(self, setup):
+        queue, state, lm, engine = setup
+        txn = engine.submit([("write", 0, 1)])
+        finish(queue, lm)
+        assert txn.latency == pytest.approx(0.010)  # one page write
+
+    def test_throughput_helper(self, setup):
+        queue, state, lm, engine = setup
+        for i in range(4):
+            engine.submit([("write", i, 1)])
+        finish(queue, lm)
+        assert engine.throughput(2.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            engine.throughput(0)
+
+
+class TestLockingAndWaits:
+    def test_conflicting_writer_waits_until_precommit(self, setup):
+        queue, state, lm, engine = setup
+        # t1 holds record 0 until it finishes its (single-step) script,
+        # so t2, submitted inside the same instant, must queue.
+        t1 = engine.submit([("write", 0, 1), ("write", 1, 1)])
+        assert t1.state is TransactionState.PRECOMMITTED
+        t2 = engine.submit([("write", 0, 2)])
+        # t1 already pre-committed, so t2 was granted with a dependency.
+        assert t2.state is TransactionState.PRECOMMITTED
+        assert 1 in t2.dependencies
+        finish(queue, lm)
+        assert state.read(0) == 2
+
+    def test_waiting_state_while_blocked(self, setup):
+        queue, state, lm, engine = setup
+
+        # Build a real wait: t1 is *kept active* by submitting it as two
+        # events; simplest is to block t2 behind an uncommitted t1 that
+        # still holds its lock because its script has not finished.  The
+        # engine runs scripts to completion synchronously, so instead we
+        # emulate contention through the lock table directly.
+        from repro.recovery.lock_table import LockMode
+
+        engine.locks.acquire(999, 0, LockMode.EXCLUSIVE)  # external holder
+        t2 = engine.submit([("write", 0, 2)])
+        assert t2.state is TransactionState.WAITING
+        # Holder releases via precommit; waiter resumes and pre-commits.
+        notices = engine.locks.precommit(999)
+        engine._resume_granted(notices)
+        assert t2.state is TransactionState.PRECOMMITTED
+        assert 999 in t2.dependencies
+        finish(queue, lm)
+        assert state.read(0) == 2
+
+    def test_dependent_commits_after_dependency(self, setup):
+        queue, state, lm, engine = setup
+        t1 = engine.submit([("write", 0, 1)])
+        t2 = engine.submit([("write", 0, 2)])
+        finish(queue, lm)
+        assert t1.committed_at <= t2.committed_at
+
+    def test_shared_readers_do_not_conflict(self, setup):
+        queue, state, lm, engine = setup
+        t1 = engine.submit([("read", 0)])
+        t2 = engine.submit([("read", 0)])
+        assert t1.state is TransactionState.PRECOMMITTED
+        assert t2.state is TransactionState.PRECOMMITTED
+
+
+class TestAbort:
+    def test_abort_restores_values(self, setup):
+        queue, state, lm, engine = setup
+        from repro.recovery.lock_table import LockMode
+
+        # Block the transaction mid-script so it stays active.
+        engine.locks.acquire(999, 5, LockMode.EXCLUSIVE)
+        txn = engine.submit([("write", 0, 77), ("write", 5, 1)])
+        assert txn.state is TransactionState.WAITING
+        assert state.read(0) == 77  # first write applied
+        engine.abort(txn)
+        assert state.read(0) == 10  # rolled back
+        assert txn.state is TransactionState.ABORTED
+
+    def test_abort_after_precommit_rejected(self, setup):
+        queue, state, lm, engine = setup
+        txn = engine.submit([("write", 0, 1)])
+        with pytest.raises(ValueError):
+            engine.abort(txn)
+
+    def test_abort_releases_locks(self, setup):
+        queue, state, lm, engine = setup
+        from repro.recovery.lock_table import LockMode
+
+        engine.locks.acquire(999, 5, LockMode.EXCLUSIVE)
+        txn = engine.submit([("write", 0, 77), ("write", 5, 1)])
+        engine.abort(txn)
+        t2 = engine.submit([("write", 0, 3)])
+        assert t2.state is TransactionState.PRECOMMITTED
+        finish(queue, lm)
+        assert state.read(0) == 3
+
+
+class TestDirtyPageTable:
+    def test_first_update_recorded(self, setup):
+        queue, state, lm, engine = setup
+        engine.submit([("write", 0, 1)])
+        engine.submit([("write", 1, 2)])  # same page (16 records/page)
+        table = engine.dirty_table.first_update_lsn
+        assert list(table.keys()) == [0]
+        assert table[0] <= 2
+
+    def test_pages_tracked_separately(self, setup):
+        queue, state, lm, engine = setup
+        engine.submit([("write", 0, 1)])
+        engine.submit([("write", 50, 2)])  # page 3
+        assert set(engine.dirty_table.first_update_lsn) == {0, 3}
+
+
+class TestScheduling:
+    def test_submit_at_delays(self, setup):
+        queue, state, lm, engine = setup
+        engine.submit_at(0.5, [("write", 0, 9)])
+        queue.run_until(1.0)
+        lm.flush()
+        queue.run_to_completion()
+        assert state.read(0) == 9
+        assert engine.committed[0].started_at == pytest.approx(0.5)
+
+    def test_mean_commit_latency(self, setup):
+        queue, state, lm, engine = setup
+        for i in range(3):
+            engine.submit([("write", i, 1)])
+        finish(queue, lm)
+        assert engine.mean_commit_latency() > 0

@@ -1,0 +1,141 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workload.banking import BankingWorkload
+from repro.workload.distributions import (
+    name_keys,
+    sequential_keys,
+    shuffled_keys,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.workload.generator import (
+    employees_relation,
+    join_inputs,
+    wisconsin_relation,
+)
+
+
+class TestDistributions:
+    def test_uniform_seeded(self):
+        assert uniform_keys(10, 100, seed=1) == uniform_keys(10, 100, seed=1)
+        assert uniform_keys(10, 100, seed=1) != uniform_keys(10, 100, seed=2)
+
+    def test_uniform_in_domain(self):
+        assert all(0 <= k < 50 for k in uniform_keys(500, 50))
+
+    def test_uniform_validates(self):
+        with pytest.raises(ValueError):
+            uniform_keys(5, 0)
+
+    def test_sequential(self):
+        assert sequential_keys(3, start=5) == [5, 6, 7]
+
+    def test_shuffled_is_permutation(self):
+        keys = shuffled_keys(100, seed=3)
+        assert sorted(keys) == list(range(100))
+        assert keys != list(range(100))
+
+    def test_zipf_skew(self):
+        keys = zipf_keys(5000, 100, theta=0.99, seed=2)
+        from collections import Counter
+
+        counts = Counter(keys)
+        top = counts.most_common(1)[0][1]
+        # Rank-1 key dominates a uniform share by a wide margin.
+        assert top > 3 * (5000 / 100)
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_zipf_theta_zero_is_uniformish(self):
+        keys = zipf_keys(5000, 10, theta=0.0, seed=2)
+        from collections import Counter
+
+        counts = Counter(keys)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_zipf_validates(self):
+        with pytest.raises(ValueError):
+            zipf_keys(10, 10, theta=5.0)
+
+    def test_name_keys_have_j_prefixes(self):
+        names = name_keys(500, seed=1)
+        assert len(names) == 500
+        assert any(n.startswith("J") for n in names)
+
+
+class TestGenerators:
+    def test_wisconsin_shape(self):
+        rel = wisconsin_relation("w", 1000)
+        assert rel.cardinality == 1000
+        u1 = [row[0] for row in rel]
+        assert sorted(u1) == list(range(1000))
+        assert all(row[2] == row[0] % 10 for row in rel)
+
+    def test_join_inputs_match_rate(self):
+        r, s = join_inputs(r_tuples=500, s_tuples=1500, key_domain=500)
+        r_keys = {row[0] for row in r}
+        matches = sum(1 for row in s if row[0] in r_keys)
+        # R draws 500 keys from a 500-key domain with repeats, covering
+        # ~(1 - 1/e) ~ 63% of it; S should hit at about that rate.
+        assert 700 < matches < 1200
+
+    def test_join_inputs_schemas_distinct(self):
+        r, s = join_inputs(100, 100)
+        assert r.schema.names == ["rkey", "rpayload"]
+        assert s.schema.names == ["skey", "spayload"]
+
+    def test_employees_queryable(self):
+        rel = employees_relation(200)
+        assert rel.cardinality == 200
+        assert rel.schema.names == ["emp_id", "name", "salary", "dept"]
+        jays = [row for row in rel if row[1].startswith("J")]
+        assert jays  # the paper's "J*" query has results
+
+    def test_employees_density_is_realistic(self):
+        rel = employees_relation(200)
+        # 4+24+4+4 = 36 bytes -> 113 tuples per 4 KB page.
+        assert rel.tuples_per_page == 4096 // 36
+
+
+class TestBanking:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankingWorkload(1)
+        with pytest.raises(ValueError):
+            BankingWorkload(10, transfer_fraction=0.9, deposit_fraction=0.9)
+
+    def test_scripts_access_in_sorted_order(self):
+        bank = BankingWorkload(100, seed=1)
+        for script, _ in bank.scripts(200):
+            ids = [op[1] for op in script]
+            assert ids == sorted(ids)  # deadlock-free canonical order
+
+    def test_transfer_conserves_money(self):
+        bank = BankingWorkload(10, transfer_fraction=1.0, deposit_fraction=0.0)
+        script, injected = bank.next_script()
+        assert injected == 0
+        deltas = [op[2].delta for op in script if op[0] == "write"]
+        assert sum(deltas) == 0
+
+    def test_deposit_reports_amount(self):
+        bank = BankingWorkload(10, transfer_fraction=0.0, deposit_fraction=1.0)
+        script, injected = bank.next_script()
+        assert injected > 0
+        deltas = [op[2].delta for op in script if op[0] == "write"]
+        assert sum(deltas) == injected
+
+    def test_inquiry_is_read_only(self):
+        bank = BankingWorkload(
+            10, transfer_fraction=0.0, deposit_fraction=0.0
+        )
+        script, injected = bank.next_script()
+        assert injected == 0
+        assert all(op[0] == "read" for op in script)
+
+    def test_mix_is_seeded(self):
+        a = [s for s, _ in BankingWorkload(50, seed=9).scripts(50)]
+        b = [s for s, _ in BankingWorkload(50, seed=9).scripts(50)]
+        assert [[op[:2] for op in s] for s in a] == [
+            [op[:2] for op in s] for s in b
+        ]
