@@ -1,0 +1,94 @@
+"""The differential oracle: a dict-backed shadow database.
+
+Recovery already has an *internal* oracle
+(:func:`repro.recovery.restart.replay_committed`) that replays the durable
+log.  That catches redo/undo bugs but shares the log's representation with
+the system under test -- a bug that corrupts log records fools both.  The
+shadow database is independent of the log entirely: it re-executes the
+*workload scripts* of the recovered-committed transactions, in commit-LSN
+order (the 2PL serialization order), against a plain dict.  After
+recovery, the recovered image must equal the shadow byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.recovery.state import DatabaseState
+
+
+class ShadowDatabase:
+    """A trivial ``record id -> value`` map executing workload scripts."""
+
+    def __init__(self, n_records: int, initial_value: Any = 0) -> None:
+        self.n_records = n_records
+        self.initial_value = initial_value
+        self.values: Dict[int, Any] = {}
+
+    def read(self, record_id: int) -> Any:
+        return self.values.get(record_id, self.initial_value)
+
+    def write(self, record_id: int, value: Any) -> None:
+        self.values[record_id] = value
+
+    def apply_script(self, script: Sequence[Tuple]) -> None:
+        """Execute one transaction script to completion (shadow
+        transactions never block or abort: the shadow only ever sees the
+        committed ones, in serialization order)."""
+        for op in script:
+            kind = op[0]
+            if kind == "read":
+                self.read(op[1])
+            elif kind == "write":
+                value = op[2]
+                if callable(value):
+                    value = value(self.read(op[1]))
+                self.write(op[1], value)
+            elif kind == "pause":
+                continue
+            else:
+                raise ValueError("unknown operation %r" % (kind,))
+
+    def replay(
+        self,
+        scripts_by_tid: Dict[int, Sequence[Tuple]],
+        commit_order: Iterable[int],
+    ) -> "ShadowDatabase":
+        """Apply the scripts of ``commit_order`` (commit-LSN order)."""
+        for tid in commit_order:
+            if tid not in scripts_by_tid:
+                raise KeyError(
+                    "recovered commit for tid %d, but the workload never "
+                    "submitted it -- a phantom transaction" % tid
+                )
+            self.apply_script(scripts_by_tid[tid])
+        return self
+
+    # -- comparison ------------------------------------------------------------
+
+    def as_list(self) -> List[Any]:
+        return [self.read(i) for i in range(self.n_records)]
+
+    def total(self) -> Any:
+        return sum(self.as_list())
+
+    def diff(self, state: DatabaseState, limit: int = 10) -> List[Tuple[int, Any, Any]]:
+        """Mismatched records as ``(record_id, shadow, recovered)``."""
+        out: List[Tuple[int, Any, Any]] = []
+        for i in range(self.n_records):
+            expected = self.read(i)
+            actual = state.values[i]
+            if expected != actual:
+                out.append((i, expected, actual))
+                if len(out) >= limit:
+                    break
+        return out
+
+    def matches(self, state: DatabaseState) -> bool:
+        return (
+            state.n_records == self.n_records
+            and not self.diff(state, limit=1)
+        )
+
+
+__all__ = ["ShadowDatabase"]

@@ -60,10 +60,26 @@ class MainMemoryDatabase:
         self.memory_pages = memory_pages
         self.page_bytes = page_bytes
         self.counters = OperationCounters()
+        #: Optional :class:`repro.chaos.FaultInjector` (see attach_chaos).
+        self.fault_injector = None
         self._planner = Planner(
             self.catalog,
             PlannerConfig(memory_pages=memory_pages, params=self.params),
         )
+
+    # -- chaos ----------------------------------------------------------------------
+
+    def attach_chaos(self, injector) -> "MainMemoryDatabase":
+        """Wire a :class:`repro.chaos.FaultInjector` into the facade: every
+        DML statement and query execution becomes a schedulable crash
+        point, so fault sweeps can interrupt bulk loads and query batches
+        mid-stream.  Returns ``self`` for chaining."""
+        self.fault_injector = injector
+        return self
+
+    def _chaos_point(self, label: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.point(label)
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -112,6 +128,7 @@ class MainMemoryDatabase:
 
     def insert(self, table: str, values: Sequence[Any]) -> Tuple[int, int]:
         """Insert one row, maintaining every index on the table."""
+        self._chaos_point("db insert %s" % table)
         relation = self.catalog.relation(table)
         tid = relation.insert(values)
         for column, index in self.catalog.indexes_on(table).items():
@@ -133,6 +150,7 @@ class MainMemoryDatabase:
         the page's last row, so indexes are rebuilt for the moved TIDs --
         simple, and sufficient for the workloads here.
         """
+        self._chaos_point("db delete %s" % table)
         relation = self.catalog.relation(table)
         col = relation.schema.index_of(column)
         victims = [tid for tid, row in relation.scan() if row[col] == value]
@@ -182,6 +200,7 @@ class MainMemoryDatabase:
 
     def execute(self, query: Query) -> Relation:
         """Optimize and run ``query``; counters accumulate on ``self``."""
+        self._chaos_point("db execute")
         plan = self._planner.plan(query)
         ctx = PlanContext(
             catalog=self.catalog,

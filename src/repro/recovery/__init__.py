@@ -34,7 +34,13 @@ from repro.recovery.records import (
     RecordSizing,
     UpdateRecord,
 )
-from repro.recovery.restart import CrashState, RecoveryOutcome, crash, recover
+from repro.recovery.restart import (
+    CrashState,
+    RecoveryError,
+    RecoveryOutcome,
+    crash,
+    recover,
+)
 from repro.recovery.stable_memory import StableMemory
 from repro.recovery.state import DatabaseState, DiskSnapshot, DirtyPageTable
 from repro.recovery.transactions import (
@@ -61,6 +67,7 @@ __all__ = [
     "LogRecord",
     "PartitionedLog",
     "RecordSizing",
+    "RecoveryError",
     "RecoveryOutcome",
     "SnapshotView",
     "StableMemory",

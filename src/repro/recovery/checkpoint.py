@@ -38,8 +38,16 @@ class Checkpointer:
         self.page_write_time = page_write_time
         self.sweeps = 0
         self.pages_checkpointed = 0
+        self.installs_dropped = 0
         self._disk_free_at = 0.0
         self._running = False
+        #: Optional :class:`repro.chaos.FaultInjector`: per-copy dispatch
+        #: is a crash point, copies can be individually slowed, and an
+        #: install can be dropped outright (a failed snapshot write).  A
+        #: dropped install keeps the page's in-flight dirty-table entry,
+        #: so the redo bound stays conservative -- the invariant chaos
+        #: testing verifies.
+        self.fault_injector = None
         #: page id -> FIFO of first-update LSNs for copies dispatched but
         #: not yet on disk.  Conceptually part of the stable dirty-page
         #: table: if the system crashes mid-copy these entries still bound
@@ -81,8 +89,10 @@ class Checkpointer:
             self.state.page_lsn[p] for p in dirty
         ):
             self.engine.log.flush()
-        start = max(self.queue.clock.now, self._disk_free_at)
-        for i, page_id in enumerate(dirty):
+        done = max(self.queue.clock.now, self._disk_free_at)
+        for page_id in dirty:
+            if self.fault_injector is not None:
+                self.fault_injector.point("checkpoint dispatch p%d" % page_id)
             image = self.state.copy_page(page_id)
             # The page image is consistent as of *now*; later updates
             # re-dirty the page and re-enter the dirty table.  The page's
@@ -92,17 +102,26 @@ class Checkpointer:
             entry = self.engine.dirty_table.first_update_lsn.pop(page_id, None)
             if entry is not None:
                 self.in_flight.setdefault(page_id, []).append(entry)
-            done = start + (i + 1) * self.page_write_time
+            done += self.page_write_time
+            if self.fault_injector is not None:
+                done += self.fault_injector.write_delay(-1)
             self.queue.schedule_at(
                 done,
                 lambda img=image, t=done: self._install(img, t),
                 label="checkpoint page write",
             )
-        self._disk_free_at = start + len(dirty) * self.page_write_time
+        self._disk_free_at = done
         self.sweeps += 1
         return len(dirty)
 
     def _install(self, image: PageImage, timestamp: float) -> None:
+        if self.fault_injector is not None and self.fault_injector.drop_checkpoint_write(
+            image.page_id
+        ):
+            # The copy never lands and its in-flight dirty-table entry is
+            # never retired: recovery keeps the pre-copy redo bound.
+            self.installs_dropped += 1
+            return
         if self.engine.log.durable_lsn_horizon() < image.page_lsn:
             # WAL: the log covering this image is still in flight.  The
             # sweep already forced it, so retry shortly.

@@ -16,7 +16,7 @@ the topological dependency lattice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.events import EventQueue
 
@@ -52,6 +52,14 @@ class LogDevice:
         self.pages_written = 0
         self.busy_until = 0.0
         self._next_page_number = 0
+        #: Optional :class:`repro.chaos.FaultInjector`.  Dispatch is a
+        #: crash point, and the injector may stretch an individual write
+        #: (a slow sector); FIFO order within the device is preserved
+        #: because the delay extends ``busy_until`` too.
+        self.fault_injector = None
+        #: Payloads dispatched but not yet completed, by page number --
+        #: what a crash can tear (a prefix may survive on the platter).
+        self._in_flight: Dict[int, List[object]] = {}
 
     @property
     def is_idle(self) -> bool:
@@ -63,13 +71,19 @@ class LogDevice:
         on_complete: Optional[Callable[[WrittenPage], None]] = None,
     ) -> float:
         """Queue a page write; return its completion timestamp."""
+        extra_delay = 0.0
+        if self.fault_injector is not None:
+            self.fault_injector.point("log dispatch dev%d" % self.device_id)
+            extra_delay = self.fault_injector.write_delay(self.device_id)
         start = max(self.queue.clock.now, self.busy_until)
-        done = start + self.page_write_time
+        done = start + self.page_write_time + extra_delay
         self.busy_until = done
         page_number = self._next_page_number
         self._next_page_number += 1
+        self._in_flight[page_number] = list(payload)
 
         def complete() -> None:
+            self._in_flight.pop(page_number, None)
             page = WrittenPage(
                 device_id=self.device_id,
                 page_number=page_number,
@@ -83,6 +97,14 @@ class LogDevice:
 
         self.queue.schedule_at(done, complete, label="log page write")
         return done
+
+    def in_flight_writes(self) -> List[Tuple[int, List[object]]]:
+        """Dispatched-but-incomplete writes as ``(page_number, payload)``,
+        oldest first -- the pages a crash catches mid-transfer."""
+        return [
+            (number, list(payload))
+            for number, payload in sorted(self._in_flight.items())
+        ]
 
     def crash(self) -> None:
         """Drop writes still in flight (pages list keeps only completed)."""
@@ -119,6 +141,20 @@ class PartitionedLog:
     @property
     def pages_written(self) -> int:
         return sum(d.pages_written for d in self.devices)
+
+    def attach_fault_injector(self, injector) -> None:
+        """Wire a :class:`repro.chaos.FaultInjector` into every device."""
+        for device in self.devices:
+            device.fault_injector = injector
+
+    def in_flight_writes(self) -> List[Tuple[int, int, List[object]]]:
+        """All dispatched-but-incomplete writes as ``(device_id,
+        page_number, payload)`` -- torn-page candidates at crash time."""
+        writes: List[Tuple[int, int, List[object]]] = []
+        for device in self.devices:
+            for number, payload in device.in_flight_writes():
+                writes.append((device.device_id, number, payload))
+        return writes
 
     def all_pages_in_order(self) -> List[WrittenPage]:
         """Durable pages merged by completion time -- the Section 5.2

@@ -43,6 +43,15 @@ PAGE_READ_TIME = 0.010       # sequential reload of snapshot / log pages
 RECORD_APPLY_TIME = 0.00005  # CPU to interpret and apply one log record
 
 
+class RecoveryError(RuntimeError):
+    """The durable state is structurally inconsistent: the log or the
+    snapshot references pages outside the disk image being rebuilt.
+
+    Raised instead of letting a bare ``KeyError``/``IndexError`` escape
+    from deep inside the redo/undo passes, so callers can distinguish
+    "the crash state is corrupt" from a bug in recovery itself."""
+
+
 @dataclass
 class CrashState:
     """Everything that survives the failure."""
@@ -121,6 +130,27 @@ def recover(
         crash_state.records_per_page,
         initial_value=initial_value,
     )
+    for page_id in crash_state.snapshot.pages:
+        if not 0 <= page_id < state.page_count:
+            raise RecoveryError(
+                "snapshot holds page %d, outside the %d-page disk image"
+                % (page_id, state.page_count)
+            )
+    for record in crash_state.durable_log:
+        if isinstance(record, UpdateRecord) and not (
+            0 <= record.record_id < crash_state.n_records
+        ):
+            raise RecoveryError(
+                "log record lsn=%d references record %d, absent from the "
+                "%d-record disk image (page %d does not exist in the "
+                "snapshot's universe)"
+                % (
+                    record.lsn,
+                    record.record_id,
+                    crash_state.n_records,
+                    record.record_id // crash_state.records_per_page,
+                )
+            )
     crash_state.snapshot.load_into(state)
     snapshot_lsn = list(state.page_lsn)  # per-page LSN as of the snapshot
 
@@ -211,6 +241,7 @@ __all__ = [
     "CrashState",
     "PAGE_READ_TIME",
     "RECORD_APPLY_TIME",
+    "RecoveryError",
     "RecoveryOutcome",
     "crash",
     "recover",

@@ -20,7 +20,7 @@ written to disk").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.recovery.records import LogRecord, RecordSizing, DEFAULT_SIZING
 
@@ -40,6 +40,11 @@ class StableMemory:
         self._records: List[LogRecord] = []
         #: page id -> LSN of first update since the page's last checkpoint.
         self._dirty_first_lsn: Dict[int, int] = {}
+        #: Optional chaos hook fired after each append.  Stable appends
+        #: change durable state *synchronously* (no event is involved), so
+        #: without this seam a crash-point sweep could never land between
+        #: an update reaching stable memory and its commit record.
+        self.on_append: Optional[Callable[[LogRecord], None]] = None
 
     # -- capacity -------------------------------------------------------------
 
@@ -67,6 +72,8 @@ class StableMemory:
             )
         self._records.append(record)
         self._log_bytes += size
+        if self.on_append is not None:
+            self.on_append(record)
 
     def pending_records(self) -> List[LogRecord]:
         """Records not yet drained, oldest first (crash-surviving)."""

@@ -42,6 +42,12 @@ class EventQueue:
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._processed = 0
+        #: Optional :class:`repro.chaos.FaultInjector`.  When set, every
+        #: event boundary is a schedulable crash point: the injector is
+        #: consulted after the clock advances but before the action runs,
+        #: and may raise :class:`repro.chaos.CrashSignal` to freeze the
+        #: simulation exactly there.
+        self.fault_injector = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -80,6 +86,8 @@ class EventQueue:
             return None
         _, _, event = heapq.heappop(self._heap)
         self.clock.advance_to(event.time)
+        if self.fault_injector is not None:
+            self.fault_injector.on_event(event)
         event.action()
         self._processed += 1
         return event

@@ -54,6 +54,9 @@ class BufferPool:
         self._frames: "OrderedDict[Hashable, bool]" = OrderedDict()
         self.hits = 0
         self.faults = 0
+        #: Optional :class:`repro.chaos.FaultInjector`: every page fault
+        #: (the pool's only I/O) is a schedulable crash point.
+        self.fault_injector = None
 
     # -- statistics --------------------------------------------------------------
 
@@ -91,6 +94,8 @@ class BufferPool:
             return True
 
         self.faults += 1
+        if self.fault_injector is not None:
+            self.fault_injector.point("buffer fault %r" % (page_id,))
         if self._on_fault is not None:
             self._on_fault(page_id)
         if len(self._frames) >= self.capacity:

@@ -1,0 +1,314 @@
+"""Unit tests for the chaos machinery itself.
+
+The sweep in test_crash_sweep.py proves the system satisfies the recovery
+contract; this file proves the *checker* would notice if it did not --
+every invariant is driven to a violation on a deliberately corrupted
+crash state -- and covers the injector seams module by module.
+"""
+
+import pytest
+
+from repro.chaos import (
+    CrashSignal,
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    InvariantViolation,
+    ScenarioConfig,
+    ShadowDatabase,
+    capture,
+    run_scenario,
+)
+from repro.recovery.log_manager import CommitPolicy
+from repro.recovery.records import CommitRecord, UpdateRecord
+from repro.recovery.state import DatabaseState
+
+
+def settled_run(**overrides):
+    """A fault-free run driven to full durability, plus its checker."""
+    config = ScenarioConfig(**overrides)
+    run = run_scenario(config, FaultInjector.counting())
+    assert not run.crashed
+    checker = InvariantChecker(
+        initial_value=config.initial_balance,
+        scripts_by_tid=run.scripts_by_tid,
+        deposit_by_tid=run.deposit_by_tid,
+    )
+    return run, checker
+
+
+class TestInjectorPoints:
+    def test_counting_mode_never_crashes(self):
+        injector = FaultInjector.counting()
+        for i in range(100):
+            injector.point("p%d" % i)
+        assert injector.points == 100
+        assert not injector.crashed
+
+    def test_crash_at_fires_exactly_once_at_the_point(self):
+        injector = FaultInjector.crash_at(5)
+        for i in range(5):
+            injector.point("warmup")
+        with pytest.raises(CrashSignal) as exc:
+            injector.point("boom")
+        assert exc.value.point == 5
+        assert exc.value.label == "boom"
+        # After the crash the injector goes quiet (capture code may still
+        # tick points; a second CrashSignal would mask the first).
+        injector.point("post-crash")
+        assert injector.points == 7
+
+    def test_trace_is_bounded(self):
+        injector = FaultInjector.counting()
+        for i in range(100):
+            injector.point("p%d" % i)
+        assert len(injector.trace) == FaultInjector.TRACE_DEPTH
+        assert injector.trace[-1] == "p99"
+
+    def test_sampled_faults_are_seed_deterministic(self):
+        plan = FaultPlan(write_delay_prob=0.5, write_delay_max=0.02, seed=9)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert [a.write_delay(0) for _ in range(50)] == [
+            b.write_delay(0) for _ in range(50)
+        ]
+
+    def test_healthy_plan_injects_nothing(self):
+        injector = FaultInjector.counting()
+        assert injector.write_delay(0) == 0.0
+        assert not injector.drop_checkpoint_write(0)
+
+
+class TestDeviceSeams:
+    def test_log_device_in_flight_lifecycle(self):
+        from repro.recovery.log_device import LogDevice
+        from repro.sim.clock import SimulatedClock
+        from repro.sim.events import EventQueue
+
+        queue = EventQueue(SimulatedClock())
+        device = LogDevice(queue)
+        device.write_page(["a", "b"])
+        device.write_page(["c"])
+        assert [(n, p) for n, p in device.in_flight_writes()] == [
+            (0, ["a", "b"]),
+            (1, ["c"]),
+        ]
+        queue.run_to_completion()
+        assert device.in_flight_writes() == []
+
+    def test_injected_write_delay_extends_completion_and_fifo(self):
+        from repro.recovery.log_device import LogDevice
+        from repro.sim.clock import SimulatedClock
+        from repro.sim.events import EventQueue
+
+        queue = EventQueue(SimulatedClock())
+        device = LogDevice(queue)
+        device.fault_injector = FaultInjector(
+            FaultPlan(write_delay_prob=1.0, write_delay_max=0.05, seed=1)
+        )
+        first = device.write_page(["a"])
+        second = device.write_page(["b"])
+        assert first > 0.010  # stretched beyond the healthy write time
+        assert second > first  # FIFO preserved: the queue backs up behind it
+        queue.run_to_completion()
+        assert device.pages_written == 2
+        assert [p.page_number for p in device.pages] == [0, 1]
+
+    def test_dropped_checkpoint_install_keeps_redo_bound(self):
+        """A lost snapshot write must leave the in-flight dirty-table
+        entry in place so recovery still starts redo early enough."""
+        run, checker = settled_run(checkpoint_interval=10.0)
+        engine, ck = run.engine, run.checkpointer
+        engine.submit([("write", 0, 1)])
+        run.log_manager.flush()
+        run.queue.run_until(run.queue.clock.now + 0.1)
+        ck.fault_injector = FaultInjector(
+            FaultPlan(drop_checkpoint_prob=1.0, seed=2)
+        )
+        ck.checkpoint_now([0])
+        pages_before = ck.snapshot.page_count
+        run.queue.run_until(run.queue.clock.now + 1.0)
+        assert ck.installs_dropped >= 1
+        assert ck.snapshot.page_count == pages_before  # copy never landed
+        assert 0 in ck.in_flight  # the redo bound survives
+        cs = capture(run)
+        assert 0 in cs.dirty_first_lsn
+
+    def test_buffer_pool_fault_is_a_crash_point(self):
+        from repro.storage.buffer import BufferPool
+
+        pool = BufferPool(4)
+        pool.fault_injector = FaultInjector.crash_at(0)
+        with pytest.raises(CrashSignal):
+            pool.access("page-0")
+
+    def test_database_facade_crash_points(self):
+        from repro.core.database import MainMemoryDatabase
+        from repro.storage.tuples import DataType
+
+        db = MainMemoryDatabase().attach_chaos(FaultInjector.crash_at(2))
+        db.create_table("t", [("k", DataType.INTEGER)])
+        db.insert("t", (1,))
+        db.insert("t", (2,))
+        with pytest.raises(CrashSignal):
+            db.insert("t", (3,))
+        # The bulk load died mid-stream: exactly two rows landed.
+        assert len(list(db.table("t").scan())) == 2
+
+
+class TestShadowDatabase:
+    def test_callable_and_literal_writes(self):
+        shadow = ShadowDatabase(4, initial_value=10)
+        shadow.apply_script([
+            ("write", 0, 42),
+            ("read", 1),
+            ("write", 1, lambda v: v + 5),
+            ("pause", 0.5),
+        ])
+        assert shadow.as_list() == [42, 15, 10, 10]
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowDatabase(2).apply_script([("frobnicate", 0)])
+
+    def test_replay_in_commit_order(self):
+        shadow = ShadowDatabase(2, initial_value=0)
+        scripts = {1: [("write", 0, lambda v: v + 1)],
+                   2: [("write", 0, lambda v: v * 10)]}
+        shadow.replay(scripts, [1, 2])
+        assert shadow.read(0) == 10
+        fresh = ShadowDatabase(2, initial_value=0).replay(scripts, [2, 1])
+        assert fresh.read(0) == 1
+
+    def test_phantom_commit_rejected(self):
+        with pytest.raises(KeyError):
+            ShadowDatabase(2).replay({}, [99])
+
+    def test_diff_and_matches(self):
+        shadow = ShadowDatabase(3, initial_value=0)
+        shadow.write(1, 7)
+        state = DatabaseState(3, records_per_page=2, initial_value=0)
+        assert not shadow.matches(state)
+        assert shadow.diff(state) == [(1, 7, 0)]
+        state.values[1] = 7
+        assert shadow.matches(state)
+
+
+class TestCheckerDetectsViolations:
+    """Corrupt the durable state on purpose: every invariant must fire."""
+
+    def test_lost_commit_record_is_a_durability_violation(self):
+        run, checker = settled_run()
+        cs = capture(run)
+        acked = run.acked_tids
+        victim = sorted(acked)[0]
+        cs.durable_log = [
+            r
+            for r in cs.durable_log
+            if not (isinstance(r, CommitRecord) and r.tid == victim)
+        ]
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check(cs, acked, run.active_tids)
+        assert exc.value.invariant == "durability"
+        assert str(victim) in exc.value.detail
+
+    def test_phantom_commit_of_active_txn_is_detected(self):
+        run, checker = settled_run()
+        cs = capture(run)
+        committed = sorted(run.acked_tids)[0]
+        # Pretend that transaction was still running when we crashed: a
+        # durable commit record for it must now be flagged.
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check(cs, set(), {committed})
+        assert exc.value.invariant == "durability"
+        assert "active" in exc.value.detail
+
+    def test_corrupted_update_record_caught_by_differential_oracle(self):
+        """Tampering an after-image fools the log-replay oracle (it reads
+        the same bytes) but not the shadow database, which re-executes the
+        workload scripts -- the reason the differential oracle exists.
+        No checkpoints: with a snapshot in play the tamper would desync
+        recovery from the log replay and trip atomicity first."""
+        run, checker = settled_run(checkpoint_interval=50.0)
+        cs = capture(run)
+        committed = run.acked_tids
+        update = next(
+            r
+            for r in cs.durable_log
+            if isinstance(r, UpdateRecord) and r.tid in committed
+        )
+        update.new_value += 1
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check(cs, run.acked_tids, run.active_tids)
+        assert exc.value.invariant == "differential-oracle"
+
+    def test_corrupted_dirty_page_table_is_detected(self):
+        """An empty stable dirty-page table claims 'nothing to redo'; if
+        updates were actually missing from the snapshot, bounded recovery
+        diverges from the full scan and the checker objects."""
+        run, checker = settled_run(checkpoint_interval=50.0)  # no sweeps
+        cs = capture(run)
+        assert cs.dirty_first_lsn  # something was genuinely dirty
+        cs.dirty_first_lsn = {}
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check(cs, run.acked_tids, run.active_tids)
+        assert exc.value.invariant in ("atomicity", "bounded-redo")
+
+    def test_conservation_catches_minted_money(self):
+        run, checker = settled_run(
+            transfer_fraction=1.0,
+            deposit_fraction=0.0,
+            checkpoint_interval=50.0,
+        )
+        cs = capture(run)
+        update = next(
+            r
+            for r in cs.durable_log
+            if isinstance(r, UpdateRecord) and r.tid in run.acked_tids
+        )
+        update.new_value += 1000
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check(cs, run.acked_tids, run.active_tids)
+        assert exc.value.invariant in ("differential-oracle", "conservation")
+
+    def test_clean_state_passes_everything(self):
+        run, checker = settled_run()
+        report = checker.check(capture(run), run.acked_tids, run.active_tids)
+        assert report.invariants_checked == 6
+        assert report.outcome.committed_tids >= run.acked_tids
+
+
+class TestTornPages:
+    def test_torn_prefix_merges_into_durable_log(self):
+        """Tear every in-flight page at a crash caught mid-write: the
+        surviving prefix records join the durable log exactly once."""
+        config = ScenarioConfig(policy=CommitPolicy.CONVENTIONAL)
+        # Crash just after the first log dispatches (pages in flight).
+        found = False
+        for point in range(5, 40):
+            injector = FaultInjector(
+                FaultPlan(crash_at_point=point, tear_prob=1.0, seed=point)
+            )
+            run = run_scenario(config, injector)
+            if not run.crashed:
+                break
+            if run.log_manager.log.in_flight_writes():
+                found = True
+                cs = capture(run)
+                lsns = [r.lsn for r in cs.durable_log]
+                assert lsns == sorted(set(lsns))  # merged, deduplicated
+                break
+        assert found, "no crash point caught a page in flight"
+
+    def test_tear_keeps_record_boundaries(self):
+        injector = FaultInjector(FaultPlan(tear_prob=1.0, seed=3))
+
+        class FakeLog:
+            def in_flight_writes(self):
+                return [(0, 0, ["r1", "r2", "r3"])]
+
+        class FakeManager:
+            log = FakeLog()
+
+        survivors = injector.torn_records(FakeManager())
+        assert survivors == ["r1", "r2", "r3"][: len(survivors)]

@@ -6,6 +6,40 @@ import random
 
 import pytest
 
+
+def pytest_addoption(parser):
+    group = parser.getgroup("chaos", "fault-injection sweeps (tests/chaos)")
+    group.addoption(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="replay exactly one chaos fault schedule (deterministic: the "
+        "seed fully determines the crash point, write delays, torn pages, "
+        "and dropped checkpoint installs)",
+    )
+    group.addoption(
+        "--chaos-seeds",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of seeded random fault schedules the chaos sweep "
+        "verifies (default 100; nightly CI runs more)",
+    )
+
+
+@pytest.fixture
+def chaos_seeds(request) -> list:
+    """The fault-schedule seeds this run should verify.
+
+    ``--chaos-seed N`` narrows to one schedule for replaying a failure;
+    otherwise ``--chaos-seeds`` many consecutive seeds starting at 0.
+    """
+    replay = request.config.getoption("--chaos-seed")
+    if replay is not None:
+        return [replay]
+    return list(range(request.config.getoption("--chaos-seeds")))
+
 from repro.cost.counters import OperationCounters
 from repro.cost.parameters import CostParameters
 from repro.storage.relation import Relation

@@ -87,6 +87,122 @@ class TestStableDrainEdges:
                 lm.append(UpdateRecord(tid=tid, record_id=0))
 
 
+class TestOutOfOrderCompletion:
+    """Partitioned-log ordering when devices complete out of dispatch order.
+
+    With heterogeneous device speeds a page dispatched *later* can become
+    durable *earlier*.  Section 5.2's contract: independent commit groups
+    may complete in any order, dependent groups must wait for their
+    lattice ancestors, and the merged log must still read back in LSN
+    order.
+    """
+
+    def slow_fast_manager(self, queue, policy, **kwargs):
+        """Two devices: dev0 a slow 50 ms disk, dev1 a fast 10 ms one."""
+        order = []
+        lm = LogManager(
+            queue,
+            policy=policy,
+            devices=2,
+            on_commit=order.append,
+            **kwargs,
+        )
+        lm.log.devices[0].page_write_time = 0.050
+        lm.log.devices[1].page_write_time = 0.010
+        return lm, order
+
+    def test_independent_groups_ack_out_of_dispatch_order(self, queue):
+        lm, order = self.slow_fast_manager(queue, CommitPolicy.CONVENTIONAL)
+        lm.append_commit(1)  # sealed immediately -> idle dev0, done at 50 ms
+        lm.append_commit(2)  # dev0 busy -> dev1, done at 10 ms
+        queue.run_to_completion()
+        assert order == [2, 1]
+        # The sort-merge reconstruction puts the fast device's page first.
+        merged = lm.log.all_pages_in_order()
+        assert [p.device_id for p in merged] == [1, 0]
+        # But recovery reads by LSN, which never reorders.
+        assert [r.lsn for r in lm.durable_log()] == [0, 1]
+
+    def test_durable_horizon_ignores_out_of_order_completions(self, queue):
+        """A durable record above an in-flight gap must not advance the
+        WAL horizon: the checkpointer would otherwise write data pages
+        whose covering log is still in the air on the slow device."""
+        lm, order = self.slow_fast_manager(queue, CommitPolicy.CONVENTIONAL)
+        first_lsn = lm.append_commit(1)  # slow device
+        lm.append_commit(2)              # fast device
+        queue.run_until(0.020)
+        assert order == [2]  # the later commit is durable first
+        assert lm.durable_lsn_horizon() < first_lsn
+        queue.run_to_completion()
+        assert lm.durable_lsn_horizon() >= first_lsn
+
+    def test_dependent_group_parks_until_slow_ancestor_lands(self, queue):
+        """tid 2 picked up a pre-commit dependency on tid 1, whose commit
+        page sits on the slow device: tid 2's page must not be written --
+        even with the fast device idle -- until tid 1 is durable."""
+        lm, order = self.slow_fast_manager(queue, CommitPolicy.GROUP)
+        lm.append(BeginRecord(tid=1))
+        lm.append(UpdateRecord(tid=1, record_id=0))
+        lm.append_commit(1)
+        # The dependency seals tid 1's group (slow device, lands at 50 ms)
+        # and parks tid 2's behind it.
+        lm.append(BeginRecord(tid=2))
+        lm.append(UpdateRecord(tid=2, record_id=0))
+        lm.append_commit(2, dependencies={1})
+        lm.flush()
+        queue.run_until(0.020)
+        assert lm.log.devices[1].is_idle  # fast device has nothing to do
+        assert order == []                # ...because tid 2 is parked
+        queue.run_to_completion()
+        assert order == [1, 2]
+        merged = lm.log.all_pages_in_order()
+        assert len(merged) == 2
+        assert merged[0].completed_at < merged[1].completed_at
+
+    def test_merged_log_from_three_uneven_devices(self, queue):
+        order = []
+        lm = LogManager(
+            queue,
+            policy=CommitPolicy.CONVENTIONAL,
+            devices=3,
+            on_commit=order.append,
+        )
+        for device, speed in zip(lm.log.devices, (0.030, 0.020, 0.010)):
+            device.page_write_time = speed
+        for tid in range(1, 7):
+            lm.append_commit(tid)
+        queue.run_to_completion()
+        assert sorted(order) == [1, 2, 3, 4, 5, 6]
+        assert order != sorted(order)  # completion really did reorder
+        assert order[0] == 3           # first page on the fastest device
+        merged = lm.log.all_pages_in_order()
+        completions = [p.completed_at for p in merged]
+        assert completions == sorted(completions)
+        assert [r.lsn for r in lm.durable_log()] == list(range(6))
+
+    def test_chaos_delays_reorder_but_lose_nothing(self, queue):
+        """Injected slow-sector delays shuffle cross-device completion
+        order; per-device FIFO and the LSN-sorted durable log survive."""
+        from repro.chaos import FaultInjector, FaultPlan
+
+        lm = LogManager(queue, policy=CommitPolicy.CONVENTIONAL, devices=2)
+        lm.log.attach_fault_injector(
+            FaultInjector(
+                FaultPlan(write_delay_prob=0.7, write_delay_max=0.04, seed=5)
+            )
+        )
+        for tid in range(1, 11):
+            lm.append(UpdateRecord(tid=tid, record_id=tid % 3))
+            lm.append_commit(tid)
+        queue.run_to_completion()
+        assert lm.durable_tids == set(range(1, 11))
+        lsns = [r.lsn for r in lm.durable_log()]
+        assert lsns == sorted(lsns)
+        for device in lm.log.devices:
+            numbers = [p.page_number for p in device.pages]
+            assert numbers == sorted(numbers)  # FIFO held per device
+
+
 class TestPartitionedLogEdges:
     def test_single_device_acts_like_plain_log(self, queue):
         single = PartitionedLog(queue, devices=1)

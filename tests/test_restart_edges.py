@@ -6,6 +6,7 @@ from repro.recovery.checkpoint import Checkpointer
 from repro.recovery.log_manager import CommitPolicy, LogManager
 from repro.recovery.restart import (
     CrashState,
+    RecoveryError,
     crash,
     recover,
     replay_committed,
@@ -99,6 +100,58 @@ class TestSnapshotInteraction:
         assert cs.snapshot.page_count == 0
         out = recover(cs, initial_value=9)
         assert out.state.read(0) == 1
+
+
+class TestRecoveryErrorOnCorruptState:
+    """Regression: a log or snapshot referencing pages outside the disk
+    image used to surface as a bare ``KeyError``/``IndexError`` from deep
+    inside the redo pass; it must be a typed :class:`RecoveryError`."""
+
+    def crashed_state(self):
+        queue, state, lm, engine = fresh_engine()
+        engine.submit([("write", 3, 77)])
+        lm.flush()
+        queue.run_to_completion()
+        return crash(engine)
+
+    def test_log_record_beyond_disk_image(self):
+        cs = self.crashed_state()
+        update = next(r for r in cs.durable_log if hasattr(r, "record_id"))
+        update.record_id = cs.n_records + 12  # page does not exist
+        with pytest.raises(RecoveryError) as exc:
+            recover(cs, initial_value=9)
+        assert "references record" in str(exc.value)
+        assert "lsn=%d" % update.lsn in str(exc.value)
+
+    def test_negative_record_id_rejected(self):
+        cs = self.crashed_state()
+        update = next(r for r in cs.durable_log if hasattr(r, "record_id"))
+        update.record_id = -1
+        with pytest.raises(RecoveryError):
+            recover(cs, initial_value=9)
+
+    def test_rogue_snapshot_page(self):
+        from repro.recovery.state import PageImage
+
+        cs = self.crashed_state()
+        pages = cs.n_records // cs.records_per_page
+        cs.snapshot.install(
+            PageImage(page_id=pages + 3, page_lsn=0, values=[0] * 8),
+            timestamp=0.0,
+        )
+        with pytest.raises(RecoveryError) as exc:
+            recover(cs, initial_value=9)
+        assert "snapshot holds page" in str(exc.value)
+
+    def test_recovery_error_is_a_runtime_error(self):
+        # Callers that caught RuntimeError keep working.
+        assert issubclass(RecoveryError, RuntimeError)
+        assert not issubclass(RecoveryError, KeyError)
+
+    def test_valid_state_still_recovers(self):
+        cs = self.crashed_state()
+        out = recover(cs, initial_value=9)
+        assert out.state.read(3) == 77
 
 
 class TestCrashStateIntrospection:
