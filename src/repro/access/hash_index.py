@@ -14,7 +14,7 @@ table to hold R will require |R| * F pages".
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
@@ -94,6 +94,61 @@ class HashIndex(Index):
         self._size += 1
         self._distinct += 1
         self._maybe_grow()
+
+    def insert_batch(self, pairs: Sequence[Tuple[Any, Any]]) -> None:
+        """Insert many (key, value) pairs with one bulk counter charge.
+
+        Identical table state and counter totals to calling :meth:`insert`
+        per pair in the same order; the per-pair charges (one hash, one
+        move, one comparison per chain entry scanned) are accumulated in
+        local integers and charged once at the end.
+        """
+        hashes = moves = compares = 0
+        for key, value in pairs:
+            hashes += 1
+            moves += 1
+            buckets = self._buckets  # re-read: _maybe_grow may swap it
+            chain = buckets[hash(key) % len(buckets)]
+            for entry in chain:
+                compares += 1
+                if entry[0] == key:
+                    entry[1].append(value)
+                    self._size += 1
+                    break
+            else:
+                chain.append((key, [value]))
+                self._size += 1
+                self._distinct += 1
+                self._maybe_grow()
+        self.counters.hash_key(hashes)
+        self.counters.move_tuple(moves)
+        self.counters.compare(compares)
+
+    def probe_batch(self, keys: Sequence[Any]) -> List[List[Any]]:
+        """Probe many keys; return their value chains in key order.
+
+        Bulk-charged analogue of calling :meth:`probe` per key.  Unlike
+        :meth:`probe`, the returned lists are the *live* chains (no
+        defensive copy) -- callers must not mutate them.  Misses share one
+        empty list.
+        """
+        hashes = compares = 0
+        buckets = self._buckets
+        n_buckets = len(buckets)
+        miss: List[Any] = []
+        out: List[List[Any]] = []
+        for key in keys:
+            hashes += 1
+            hit = miss
+            for entry in buckets[hash(key) % n_buckets]:
+                compares += 1
+                if entry[0] == key:
+                    hit = entry[1]
+                    break
+            out.append(hit)
+        self.counters.hash_key(hashes)
+        self.counters.compare(compares)
+        return out
 
     def search(self, key: Any) -> List[Any]:
         chain = self._bucket_for(key)

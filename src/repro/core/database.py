@@ -32,6 +32,7 @@ from repro.operators.selection import Comparison, Predicate, select
 from repro.planner.plan import PlanContext, PlanNode
 from repro.planner.planner import Planner, PlannerConfig
 from repro.planner.query import Query
+from repro.planner.reuse import PlanReuseCache
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.storage.tuples import DataType, Field, Schema
@@ -54,12 +55,23 @@ class MainMemoryDatabase:
         memory_pages: int = 1000,
         params: Optional[CostParameters] = None,
         page_bytes: int = 4096,
+        batch: bool = True,
+        join_workers: int = 1,
+        reuse_cache: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.params = params if params is not None else CostParameters()
         self.memory_pages = memory_pages
         self.page_bytes = page_bytes
         self.counters = OperationCounters()
+        #: Page-at-a-time operator execution (docs/PERF.md); counted costs
+        #: are identical to the tuple-at-a-time loops either way.
+        self.batch = batch
+        #: Worker processes for partitioned hash joins (1 = serial).
+        self.join_workers = join_workers
+        #: Materialised-subplan reuse cache (None when disabled).  DML on
+        #: a table eagerly drops every cached subplan that reads it.
+        self.reuse = PlanReuseCache() if reuse_cache else None
         #: Optional :class:`repro.chaos.FaultInjector` (see attach_chaos).
         self.fault_injector = None
         self._planner = Planner(
@@ -94,10 +106,12 @@ class MainMemoryDatabase:
 
     def register_table(self, relation: Relation) -> Relation:
         """Adopt an externally built relation (workload generators)."""
+        self._invalidate_reuse(relation.name)
         return self.catalog.register(relation)
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
+        self._invalidate_reuse(name)
 
     def create_index(self, table: str, column: str, kind: str = "btree") -> Any:
         """Build a secondary index over existing rows; maintained on
@@ -126,6 +140,10 @@ class MainMemoryDatabase:
 
     # -- DML ------------------------------------------------------------------------
 
+    def _invalidate_reuse(self, table: str) -> None:
+        if self.reuse is not None:
+            self.reuse.invalidate(table)
+
     def insert(self, table: str, values: Sequence[Any]) -> Tuple[int, int]:
         """Insert one row, maintaining every index on the table."""
         self._chaos_point("db insert %s" % table)
@@ -133,6 +151,7 @@ class MainMemoryDatabase:
         tid = relation.insert(values)
         for column, index in self.catalog.indexes_on(table).items():
             index.insert(values[relation.schema.index_of(column)], tid)
+        self._invalidate_reuse(table)
         return tid
 
     def insert_many(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -164,6 +183,7 @@ class MainMemoryDatabase:
         for idx_col in list(self.catalog.indexes_on(table)):
             self.catalog.drop_index(table, idx_col)
             self.create_index(table, idx_col)
+        self._invalidate_reuse(table)
         return len(victims)
 
     # -- queries -----------------------------------------------------------------------
@@ -207,6 +227,9 @@ class MainMemoryDatabase:
             memory_pages=self.memory_pages,
             params=self.params,
             counters=self.counters,
+            batch=self.batch,
+            join_workers=self.join_workers,
+            reuse_cache=self.reuse,
         )
         return plan.execute(ctx)
 
@@ -233,6 +256,12 @@ class MainMemoryDatabase:
 
     def reset_counters(self) -> None:
         self.counters.reset()
+
+    def reuse_stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counts of the subplan reuse cache."""
+        if self.reuse is None:
+            return {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+        return self.reuse.stats()
 
     def analyze(self, table: Optional[str] = None) -> None:
         """Refresh optimizer statistics (all tables when ``table`` is

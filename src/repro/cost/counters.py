@@ -11,10 +11,30 @@ paper plots, independent of interpreter speed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.cost.parameters import CostParameters
+
+
+def heap_push_charges(n: int) -> int:
+    """Total comparisons (== swaps) for ``n`` pushes into a growing heap.
+
+    The tuple-at-a-time paths charge ``max(1, ceil(log2(size + 2)))`` per
+    push (``size`` = heap length before the push); this sums the same
+    expression in power-of-two blocks -- the value is constant while
+    ``size + 2`` stays within one block -- so batch paths charge identical
+    totals without a per-row ``log2``.
+    """
+    total = 0
+    i = 0
+    while i < n:
+        levels = max(1, math.ceil(math.log2(i + 2)))
+        block_end = min(n, (1 << levels) - 1)
+        total += levels * (block_end - i)
+        i = block_end
+    return total
 
 
 @dataclass
@@ -102,6 +122,20 @@ class OperationCounters:
             random_ios=self.random_ios - other.random_ios,
         )
 
+    def absorb(self, other: "OperationCounters") -> None:
+        """Add another tally into this one in place.
+
+        Counter increments commute, so parallel workers can tally into
+        fresh local counters and the coordinator folds them back with
+        ``absorb`` -- totals match the serial execution exactly.
+        """
+        self.comparisons += other.comparisons
+        self.hashes += other.hashes
+        self.moves += other.moves
+        self.swaps += other.swaps
+        self.sequential_ios += other.sequential_ios
+        self.random_ios += other.random_ios
+
     def as_dict(self) -> Dict[str, int]:
         """The tallies as a plain dict (for reports and tests)."""
         return {
@@ -179,4 +213,4 @@ class CostReport:
         )
 
 
-__all__ = ["CostReport", "OperationCounters"]
+__all__ = ["CostReport", "OperationCounters", "heap_push_charges"]

@@ -114,10 +114,22 @@ class JoinAlgorithm(abc.ABC):
         self,
         counters: Optional[OperationCounters] = None,
         disk: Optional[SimulatedDisk] = None,
+        batch: bool = True,
+        workers: int = 1,
     ) -> None:
         self.counters = counters if counters is not None else OperationCounters()
         # Spills share the counters so IO lands in the same report.
         self.disk = disk if disk is not None else SimulatedDisk(self.counters)
+        #: Page-at-a-time execution with bulk counter charging (results and
+        #: counters are identical to the tuple-at-a-time path; see
+        #: tests/test_batch_equivalence.py).  ``batch=False`` selects the
+        #: historical per-row loops.
+        self.batch = batch
+        #: Worker processes for the partitioned hash joins (GRACE/hybrid).
+        #: 1 means serial; >1 offloads pure-CPU bucket work to a fork pool
+        #: with deterministic bucket-order assembly, so results and
+        #: counters are independent of the worker count.
+        self.workers = max(1, int(workers))
 
     def join(self, spec: JoinSpec) -> JoinResult:
         """Execute the join and return the materialised result."""

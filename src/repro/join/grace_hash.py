@@ -15,12 +15,19 @@ flat while hybrid hash keeps improving.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
+from repro.join.parallel import (
+    bucket_join_task,
+    join_bucket,
+    make_pool,
+    precomputed_classifier,
+    residue_chunk_task,
+)
 from repro.join.partition import partition_relation, read_bucket
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, Row
 
 
 class GraceHashJoin(JoinAlgorithm):
@@ -29,9 +36,18 @@ class GraceHashJoin(JoinAlgorithm):
     name = "grace-hash"
 
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
+        if self.batch:
+            self._execute_batch(spec, output)
+        else:
+            self._execute_tuple(spec, output)
+
+    def _bucket_count(self, spec: JoinSpec) -> int:
         # The paper partitions into |M| sets; more buckets than R has
         # pages would only create empty files.
-        buckets = max(1, min(spec.memory_pages, spec.r.page_count))
+        return max(1, min(spec.memory_pages, spec.r.page_count))
+
+    def _execute_tuple(self, spec: JoinSpec, output: Relation) -> None:
+        buckets = self._bucket_count(spec)
 
         r_files = partition_relation(
             spec.r,
@@ -40,6 +56,7 @@ class GraceHashJoin(JoinAlgorithm):
             self.disk,
             self.counters,
             file_prefix=self.scratch_name(spec, "r"),
+            batch=False,
         )
         s_files = partition_relation(
             spec.s,
@@ -48,6 +65,7 @@ class GraceHashJoin(JoinAlgorithm):
             self.disk,
             self.counters,
             file_prefix=self.scratch_name(spec, "s"),
+            batch=False,
         )
 
         r_key, s_key = spec.r_key, spec.s_key
@@ -61,6 +79,91 @@ class GraceHashJoin(JoinAlgorithm):
                     self.emit(output, r_row, row)
             self.disk.delete(r_file)
             self.disk.delete(s_file)
+
+    def _execute_batch(self, spec: JoinSpec, output: Relation) -> None:
+        """Page-at-a-time variant, optionally with a worker pool.
+
+        The coordinator performs every disk access in the serial order
+        (partition writes, then per bucket: read R_i, read S_i, delete
+        both); workers only classify keys and build/probe bucket pairs.
+        """
+        buckets = self._bucket_count(spec)
+        pool = make_pool(self.workers)
+        try:
+            classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
+            classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
+            if pool is not None:
+                r_key, s_key = spec.r_key, spec.s_key
+                classify_r = precomputed_classifier(
+                    pool,
+                    [
+                        [r_key(row) for row in page.tuples]
+                        for page in spec.r.pages
+                        if page.tuples
+                    ],
+                    residue_chunk_task,
+                    (buckets,),
+                )
+                classify_s = precomputed_classifier(
+                    pool,
+                    [
+                        [s_key(row) for row in page.tuples]
+                        for page in spec.s.pages
+                        if page.tuples
+                    ],
+                    residue_chunk_task,
+                    (buckets,),
+                )
+            r_files = partition_relation(
+                spec.r,
+                spec.r_key,
+                buckets,
+                self.disk,
+                self.counters,
+                file_prefix=self.scratch_name(spec, "r"),
+                classify=classify_r,
+            )
+            s_files = partition_relation(
+                spec.s,
+                spec.s_key,
+                buckets,
+                self.disk,
+                self.counters,
+                file_prefix=self.scratch_name(spec, "s"),
+                classify=classify_s,
+            )
+
+            r_index = spec.r.schema.index_of(spec.r_field)
+            s_index = spec.s.schema.index_of(spec.s_field)
+            fudge = spec.params.fudge
+
+            if pool is None:
+                for r_file, s_file in zip(r_files, s_files):
+                    r_rows = read_bucket(self.disk, r_file)
+                    s_rows = read_bucket(self.disk, s_file)
+                    self.disk.delete(r_file)
+                    self.disk.delete(s_file)
+                    output.extend_rows(
+                        join_bucket(
+                            r_rows, s_rows, r_index, s_index, fudge, self.counters
+                        )
+                    )
+                return
+
+            jobs: List[Tuple[List[Row], List[Row], int, int, float]] = []
+            for r_file, s_file in zip(r_files, s_files):
+                r_rows = read_bucket(self.disk, r_file)
+                s_rows = read_bucket(self.disk, s_file)
+                self.disk.delete(r_file)
+                self.disk.delete(s_file)
+                jobs.append((r_rows, s_rows, r_index, s_index, fudge))
+            for rows, worker_counters in pool.map(bucket_join_task, jobs):
+                self.counters.absorb(worker_counters)
+                output.extend_rows(rows)
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
 
 
 __all__ = ["GraceHashJoin"]

@@ -10,7 +10,8 @@ hash (``q = 1``), dominating both across Figure 1.
 
 The partitioning function splits the hash-value space *unevenly*: a ``q``
 share to the resident class, the rest evenly over the B spill buckets --
-the Section 3.3 construction of a partition compatible with ``h``.
+the Section 3.3 construction of a partition compatible with ``h`` (see
+:func:`repro.join.partition.hybrid_class`).
 
 Skew handling follows Section 3.3's remedy: "if we err slightly we can
 always apply the hybrid hash join recursively, thereby adding an extra pass
@@ -18,25 +19,36 @@ for the overflow tuples."  When a spilled R-bucket's hash table would
 exceed the memory grant, the bucket pair is re-joined recursively with a
 depth-salted hash, so pathological key distributions degrade gracefully
 instead of overflowing memory.
+
+Execution comes in three flavours with identical results and counters: the
+historical tuple-at-a-time loops (``batch=False``), the page-at-a-time
+batch path (default), and the batch path with a worker pool
+(``workers > 1``) where the coordinator keeps all disk IO in serial order
+and workers handle classification and bucket build/probe (see
+:mod:`repro.join.parallel`).  Recursive overflow buckets are always joined
+serially in the coordinator, at their in-order sequence point.
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
+from repro.join.parallel import (
+    bucket_join_task,
+    hybrid_class_chunk_task,
+    join_bucket,
+    make_pool,
+    precomputed_classifier,
+)
 from repro.join.partition import (
     SpillWriter,
+    hybrid_class,
     partition_fan_out,
-    partition_hash,
     read_bucket,
 )
 from repro.storage.relation import Relation, Row
-
-#: Resolution of the hash-value space split between R0 and the spill
-#: buckets (Section 3.3: partition the set of hash values, not the tuples).
-_HASH_SPACE = 1 << 20
 
 
 class HybridHashJoin(JoinAlgorithm):
@@ -51,18 +63,22 @@ class HybridHashJoin(JoinAlgorithm):
     def _classify(
         self, key: Any, q: float, buckets: int, depth: int = 0
     ) -> int:
-        """Class of ``key``: 0 = resident, 1..B = spill buckets.
-
-        The hash is salted with ``depth`` so a recursive re-partition of
-        an overflowing bucket actually splits it.
-        """
-        u = (partition_hash((depth, key)) % _HASH_SPACE) / _HASH_SPACE
-        if u < q or buckets == 0:
-            return 0
-        return 1 + min(buckets - 1, int((u - q) / (1.0 - q) * buckets))
+        """Class of ``key``: 0 = resident, 1..B = spill buckets."""
+        return hybrid_class(key, q, buckets, depth)
 
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
-        self._execute_level(spec, output, depth=0)
+        if not self.batch:
+            self._execute_level(spec, output, depth=0)
+            return
+        pool = make_pool(self.workers)
+        try:
+            self._execute_level_batch(spec, output, depth=0, pool=pool)
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+    # -- tuple-at-a-time path ----------------------------------------------------
 
     def _execute_level(
         self, spec: JoinSpec, output: Relation, depth: int
@@ -145,6 +161,192 @@ class HybridHashJoin(JoinAlgorithm):
                 for r_row in table.probe(s_key(row)):
                     self.emit(output, r_row, row)
 
+    # -- batch path (optionally parallel) ----------------------------------------
+
+    def _execute_level_batch(
+        self,
+        spec: JoinSpec,
+        output: Relation,
+        depth: int,
+        pool: Optional[Any],
+    ) -> None:
+        params = spec.params
+        buckets, q = partition_fan_out(
+            spec.r.page_count, spec.memory_pages, params.fudge
+        )
+        r_key, s_key = spec.r_key, spec.s_key
+
+        resident = HashIndex(self.counters, max_load=params.fudge)
+
+        classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
+        classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
+        if pool is not None and buckets > 0:
+            classify_r = precomputed_classifier(
+                pool,
+                [
+                    [r_key(row) for row in page.tuples]
+                    for page in spec.r.pages
+                    if page.tuples
+                ],
+                hybrid_class_chunk_task,
+                (q, buckets, depth),
+            )
+            classify_s = precomputed_classifier(
+                pool,
+                [
+                    [s_key(row) for row in page.tuples]
+                    for page in spec.s.pages
+                    if page.tuples
+                ],
+                hybrid_class_chunk_task,
+                (q, buckets, depth),
+            )
+
+        # ---- Phase 1a: partition R, building R0's table page by page. ----
+        r_writer = None
+        if buckets > 0:
+            r_files = [
+                "%s.d%d.%d" % (self.scratch_name(spec, "r"), depth, i)
+                for i in range(buckets)
+            ]
+            r_writer = SpillWriter(
+                self.disk, r_files, spec.r.tuples_per_page, self.counters
+            )
+        for page in spec.r.pages:
+            rows = page.tuples
+            if not rows:
+                continue
+            keys = [r_key(row) for row in rows]
+            classes = (
+                classify_r(keys)
+                if classify_r is not None
+                else [hybrid_class(k, q, buckets, depth) for k in keys]
+            )
+            to_insert: List[Tuple[Any, Row]] = []
+            pending: List[List[Row]] = [[] for _ in range(buckets)]
+            spilled = 0
+            for k, row, cls in zip(keys, rows, classes):
+                if cls == 0:
+                    to_insert.append((k, row))
+                else:
+                    pending[cls - 1].append(row)
+                    spilled += 1
+            resident.insert_batch(to_insert)
+            if spilled:
+                self.counters.hash_key(spilled)
+                for b, bucket_rows in enumerate(pending):
+                    r_writer.write_many(b, bucket_rows)
+
+        # ---- Phase 1b: partition S, probing R0 page by page. ----
+        s_writer = None
+        if buckets > 0:
+            s_files = [
+                "%s.d%d.%d" % (self.scratch_name(spec, "s"), depth, i)
+                for i in range(buckets)
+            ]
+            s_writer = SpillWriter(
+                self.disk, s_files, spec.s.tuples_per_page, self.counters
+            )
+        for page in spec.s.pages:
+            rows = page.tuples
+            if not rows:
+                continue
+            keys = [s_key(row) for row in rows]
+            classes = (
+                classify_s(keys)
+                if classify_s is not None
+                else [hybrid_class(k, q, buckets, depth) for k in keys]
+            )
+            probe_keys: List[Any] = []
+            probe_rows: List[Row] = []
+            pending = [[] for _ in range(buckets)]
+            spilled = 0
+            for k, row, cls in zip(keys, rows, classes):
+                if cls == 0:
+                    probe_keys.append(k)
+                    probe_rows.append(row)
+                else:
+                    pending[cls - 1].append(row)
+                    spilled += 1
+            matched: List[Row] = []
+            for chain, s_row in zip(resident.probe_batch(probe_keys), probe_rows):
+                if chain:
+                    matched.extend(r_row + s_row for r_row in chain)
+            output.extend_rows(matched)
+            if spilled:
+                self.counters.hash_key(spilled)
+                for b, bucket_rows in enumerate(pending):
+                    s_writer.write_many(b, bucket_rows)
+
+        if buckets == 0:
+            return
+        r_files = r_writer.close()
+        s_files = s_writer.close()
+
+        # ---- Phase 2: join the spilled bucket pairs. ----
+        # The coordinator reads and deletes every bucket in serial order;
+        # recursion runs inline (it performs IO at its sequence point),
+        # while plain bucket pairs either join serially or go to the pool.
+        bucket_capacity = spec.memory_tuples(spec.r.tuples_per_page)
+        r_index = spec.r.schema.index_of(spec.r_field)
+        s_index = spec.s.schema.index_of(spec.s_field)
+        fudge = params.fudge
+
+        entries: List[Tuple[str, Any]] = []
+        for r_file, s_file in zip(r_files, s_files):
+            r_rows = read_bucket(self.disk, r_file)
+            s_rows = read_bucket(self.disk, s_file)
+            self.disk.delete(r_file)
+            self.disk.delete(s_file)
+
+            if (
+                len(r_rows) > bucket_capacity
+                and depth < self.MAX_RECURSION
+                and len({r_key(row) for row in r_rows}) > 1
+            ):
+                if pool is None:
+                    self._recurse_on_bucket(
+                        spec, output, r_rows, s_rows, depth, batch=True
+                    )
+                else:
+                    # Recurse now (its IO belongs here) but emit into a
+                    # side relation so bucket-ordered assembly holds.
+                    side = Relation(
+                        "%s~side%d" % (output.name, len(entries)),
+                        output.schema,
+                        output.page_bytes,
+                    )
+                    self._recurse_on_bucket(
+                        spec, side, r_rows, s_rows, depth, batch=True
+                    )
+                    entries.append(("rel", side))
+                continue
+
+            if pool is None:
+                output.extend_rows(
+                    join_bucket(
+                        r_rows, s_rows, r_index, s_index, fudge, self.counters
+                    )
+                )
+            else:
+                entries.append(("job", (r_rows, s_rows, r_index, s_index, fudge)))
+
+        if pool is not None:
+            results = iter(
+                pool.map(
+                    bucket_join_task,
+                    [payload for kind, payload in entries if kind == "job"],
+                )
+            )
+            for kind, payload in entries:
+                if kind == "rel":
+                    for page in payload.pages:
+                        output.extend_rows(page.tuples)
+                else:
+                    rows, worker_counters = next(results)
+                    self.counters.absorb(worker_counters)
+                    output.extend_rows(rows)
+
     def _recurse_on_bucket(
         self,
         spec: JoinSpec,
@@ -152,18 +354,21 @@ class HybridHashJoin(JoinAlgorithm):
         r_rows: List[Row],
         s_rows: List[Row],
         depth: int,
+        batch: bool = False,
     ) -> None:
-        """Re-join one overflowing bucket pair one level deeper."""
+        """Re-join one overflowing bucket pair one level deeper.
+
+        Always serial: recursion is rare (skew overflow only) and its IO
+        must stay at the coordinator's in-order sequence point.
+        """
         sub_r = Relation(
             "%s~%d" % (spec.r.name, depth + 1), spec.r.schema, spec.r.page_bytes
         )
-        for row in r_rows:
-            sub_r.insert_unchecked(row)
+        sub_r.extend_rows(r_rows)
         sub_s = Relation(
             "%s~%d" % (spec.s.name, depth + 1), spec.s.schema, spec.s.page_bytes
         )
-        for row in s_rows:
-            sub_s.insert_unchecked(row)
+        sub_s.extend_rows(s_rows)
         sub_spec = JoinSpec(
             r=sub_r,
             s=sub_s,
@@ -178,7 +383,10 @@ class HybridHashJoin(JoinAlgorithm):
         if sub_spec.r is not sub_r:
             sub_spec.r, sub_spec.s = sub_r, sub_s
             sub_spec.r_field, sub_spec.s_field = spec.r_field, spec.s_field
-        self._execute_level(sub_spec, output, depth + 1)
+        if batch:
+            self._execute_level_batch(sub_spec, output, depth + 1, pool=None)
+        else:
+            self._execute_level(sub_spec, output, depth + 1)
 
 
 __all__ = ["HybridHashJoin"]

@@ -20,6 +20,12 @@ class NestedLoopsJoin(JoinAlgorithm):
     name = "nested-loops"
 
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
+        if self.batch:
+            self._execute_batch(spec, output)
+        else:
+            self._execute_tuple(spec, output)
+
+    def _execute_tuple(self, spec: JoinSpec, output: Relation) -> None:
         r_key, s_key = spec.r_key, spec.s_key
         block_tuples = spec.memory_tuples(spec.r.tuples_per_page)
 
@@ -45,6 +51,45 @@ class NestedLoopsJoin(JoinAlgorithm):
                 scan_s_against(block, reread=not first_block)
                 first_block = False
                 block = []
+        if block:
+            scan_s_against(block, reread=not first_block)
+
+    def _execute_batch(self, spec: JoinSpec, output: Relation) -> None:
+        """Page-at-a-time variant: hoisted block keys, bulk charges."""
+        r_key, s_key = spec.r_key, spec.s_key
+        block_tuples = spec.memory_tuples(spec.r.tuples_per_page)
+        s_pages = spec.s.pages
+
+        def scan_s_against(block_rows: List[Row], reread: bool) -> None:
+            if reread:
+                self.counters.io_sequential(spec.s.page_count)
+            keyed = [(r_key(row), row) for row in block_rows]
+            per_s = len(block_rows)
+            for page in s_pages:
+                rows = page.tuples
+                self.counters.compare(per_s * len(rows))
+                matched: List[Row] = []
+                for s_row in rows:
+                    sk = s_key(s_row)
+                    for rk, r_row in keyed:
+                        if rk == sk:
+                            matched.append(r_row + s_row)
+                output.extend_rows(matched)
+
+        block: List[Row] = []
+        first_block = True
+        for page in spec.r.pages:
+            rows = page.tuples
+            self.counters.move_tuple(len(rows))
+            pos = 0
+            while pos < len(rows):
+                take = min(len(rows) - pos, block_tuples - len(block))
+                block.extend(rows[pos:pos + take])
+                pos += take
+                if len(block) >= block_tuples:
+                    scan_s_against(block, reread=not first_block)
+                    first_block = False
+                    block = []
         if block:
             scan_s_against(block, reread=not first_block)
 

@@ -1,0 +1,129 @@
+"""Deterministic worker-process support for the partitioned hash joins.
+
+The GRACE and hybrid hash joins split cleanly into disk traffic and pure
+CPU work, and only the CPU half is farmed out:
+
+* The **coordinator** (the join object in the parent process) performs
+  every disk operation itself, in exactly the order the serial algorithm
+  would -- partition writes, bucket reads, bucket deletes.  The simulated
+  disk's sequential/random classification depends on access order, so
+  keeping IO single-threaded keeps the counted cost model bit-identical.
+* **Workers** receive closed, picklable work items -- a page of join keys
+  to classify, or a bucket pair of rows to build-and-probe -- and tally
+  their operation charges into fresh local counters.  Counter increments
+  commute, so the coordinator folds the worker tallies back with
+  :meth:`~repro.cost.counters.OperationCounters.absorb` and the totals
+  match the serial run exactly.
+* Results are assembled in **bucket order** (``pool.map`` preserves input
+  order), so the output relation is identical for any worker count.
+
+The pool uses the ``fork`` start method: children inherit the parent's
+hash randomization, which keeps ``partition_hash`` consistent across
+processes.  Platforms without ``fork`` fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import operator
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.access.hash_index import HashIndex
+from repro.cost.counters import OperationCounters
+from repro.join.partition import hybrid_class, partition_hash
+from repro.storage.relation import Row
+
+
+def make_pool(workers: int) -> Optional[Any]:
+    """A fork-context pool, or ``None`` for serial execution.
+
+    Returns ``None`` when ``workers <= 1`` or when the platform has no
+    ``fork`` start method (consistent hashing across processes requires
+    inheriting the parent's hash seed).
+    """
+    if workers <= 1:
+        return None
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    return ctx.Pool(processes=workers)
+
+
+def join_bucket(
+    r_rows: Sequence[Row],
+    s_rows: Sequence[Row],
+    r_key_index: int,
+    s_key_index: int,
+    fudge: float,
+    counters: OperationCounters,
+) -> List[Row]:
+    """Build-and-probe one bucket pair; return the joined rows in order.
+
+    Pure CPU: hash-table work is charged into ``counters`` and no IO is
+    performed, so the call is position-independent -- it may run in any
+    process, in any order, with commutative counter effects.
+    """
+    table = HashIndex(counters, max_load=fudge)
+    r_key = operator.itemgetter(r_key_index)
+    table.insert_batch([(r_key(row), row) for row in r_rows])
+    s_key = operator.itemgetter(s_key_index)
+    chains = table.probe_batch([s_key(row) for row in s_rows])
+    matched: List[Row] = []
+    for chain, s_row in zip(chains, s_rows):
+        if chain:
+            matched.extend(r_row + s_row for r_row in chain)
+    return matched
+
+
+def bucket_join_task(
+    args: Tuple[Sequence[Row], Sequence[Row], int, int, float],
+) -> Tuple[List[Row], OperationCounters]:
+    """Pool task: join one bucket pair, tallying into a local counter."""
+    r_rows, s_rows, r_key_index, s_key_index, fudge = args
+    counters = OperationCounters()
+    rows = join_bucket(r_rows, s_rows, r_key_index, s_key_index, fudge, counters)
+    return rows, counters
+
+
+def residue_chunk_task(args: Tuple[Sequence[Any], int]) -> List[int]:
+    """Pool task: GRACE residues ``partition_hash(key) % classes``."""
+    keys, total_classes = args
+    return [partition_hash(k) % total_classes for k in keys]
+
+
+def hybrid_class_chunk_task(
+    args: Tuple[Sequence[Any], float, int, int],
+) -> List[int]:
+    """Pool task: hybrid classes (0 = resident, 1..B = spill buckets)."""
+    keys, q, buckets, depth = args
+    return [hybrid_class(k, q, buckets, depth) for k in keys]
+
+
+def precomputed_classifier(
+    pool: Any,
+    pages_keys: List[List[Any]],
+    task: Callable[[Tuple], List[int]],
+    extra: Tuple,
+) -> Callable[[Sequence[Any]], List[int]]:
+    """Classify every page of keys on the pool; return a replay hook.
+
+    The returned hook ignores its argument and yields the precomputed
+    class lists in page order -- exactly the order the batch partition
+    loop requests them.  ``pool.map`` preserves input order, so the
+    classes (and everything downstream) are identical for any worker
+    count.
+    """
+    chunks = pool.map(task, [(keys,) + extra for keys in pages_keys])
+    replay = iter(chunks)
+    return lambda _keys: next(replay)
+
+
+__all__ = [
+    "bucket_join_task",
+    "hybrid_class_chunk_task",
+    "join_bucket",
+    "make_pool",
+    "precomputed_classifier",
+    "residue_chunk_task",
+]

@@ -32,6 +32,24 @@ def partition_hash(key: Any) -> int:
     return hash((_PARTITION_SALT, key))
 
 
+#: Resolution of the hash-value space split between a resident class and
+#: the spill buckets (Section 3.3: partition the set of hash values).
+_HASH_SPACE = 1 << 20
+
+
+def hybrid_class(key: Any, q: float, buckets: int, depth: int = 0) -> int:
+    """Hybrid-hash class of ``key``: 0 = resident, 1..B = spill buckets.
+
+    The hash is salted with ``depth`` so a recursive re-partition of an
+    overflowing bucket actually splits it.  Lives here (not on the join
+    class) so parallel workers can recompute classes from keys alone.
+    """
+    u = (partition_hash((depth, key)) % _HASH_SPACE) / _HASH_SPACE
+    if u < q or buckets == 0:
+        return 0
+    return 1 + min(buckets - 1, int((u - q) / (1.0 - q) * buckets))
+
+
 def partition_fan_out(
     r_pages: int, memory_pages: int, fudge: float
 ) -> Tuple[int, float]:
@@ -79,6 +97,28 @@ class SpillWriter:
         if len(buf) >= self.tuples_per_page:
             self._flush(bucket)
 
+    def write_many(self, bucket: int, rows: Sequence[Row]) -> None:
+        """Buffer many rows for ``bucket`` with one bulk move charge.
+
+        Page contents and per-file page order are identical to calling
+        :meth:`write` per row; flush IO classification is forced (single
+        vs many buckets), so grouping rows per bucket cannot change the
+        sequential/random tallies either.
+        """
+        if not rows:
+            return
+        self.counters.move_tuple(len(rows))
+        buf = self._buffers[bucket]
+        buf.extend(rows)
+        tpp = self.tuples_per_page
+        while len(buf) >= tpp:
+            page = Page(0, tpp)
+            page.extend_rows(buf[:tpp])
+            self.disk.append(
+                self.file_names[bucket], page, sequential=self._single_bucket
+            )
+            del buf[:tpp]
+
     def _flush(self, bucket: int) -> None:
         buf = self._buffers[bucket]
         if not buf:
@@ -109,6 +149,8 @@ def partition_relation(
     file_prefix: str,
     resident_bucket: bool = False,
     on_resident: Optional[Callable[[Any, Row], None]] = None,
+    batch: bool = True,
+    classify: Optional[Callable[[Sequence[Any]], List[int]]] = None,
 ) -> List[str]:
     """Partition ``relation`` into ``buckets`` spill files by hash.
 
@@ -120,6 +162,13 @@ def partition_relation(
     Each tuple is charged one ``hash``; spilled tuples additionally charge
     one ``move`` into the output buffer (inside :class:`SpillWriter`).
     Returns the spill file names (empty when everything stayed resident).
+
+    The default ``batch`` path walks pages, charges hashes in bulk, and
+    groups spill writes per bucket per page -- identical files, charges,
+    and resident-callback order.  ``classify`` optionally supplies the
+    residue computation for a whole page of keys (the parallel partition
+    phase plugs worker-computed residues in here); it must return
+    ``partition_hash(key) % (buckets + resident)`` per key.
     """
     if buckets < 0:
         raise ValueError("bucket count cannot be negative")
@@ -131,6 +180,38 @@ def partition_relation(
     if buckets > 0:
         names = ["%s.%d" % (file_prefix, i) for i in range(buckets)]
         writer = SpillWriter(disk, names, relation.tuples_per_page, counters)
+
+    if batch:
+        for page in relation.pages:
+            rows = page.tuples
+            if not rows:
+                continue
+            counters.hash_key(len(rows))
+            keys = [key(row) for row in rows]
+            residues = (
+                classify(keys)
+                if classify is not None
+                else [partition_hash(k) % total_classes for k in keys]
+            )
+            if writer is None:
+                assert on_resident is not None, "resident bucket needs a consumer"
+                for k, row in zip(keys, rows):
+                    on_resident(k, row)
+                continue
+            pending: List[List[Row]] = [[] for _ in range(buckets)]
+            if resident_bucket:
+                for k, row, residue in zip(keys, rows, residues):
+                    if residue == 0:
+                        assert on_resident is not None
+                        on_resident(k, row)
+                    else:
+                        pending[residue - 1].append(row)
+            else:
+                for row, residue in zip(rows, residues):
+                    pending[residue].append(row)
+            for b, bucket_rows in enumerate(pending):
+                writer.write_many(b, bucket_rows)
+        return writer.close() if writer is not None else []
 
     for row in relation:
         counters.hash_key()
@@ -157,6 +238,7 @@ def read_bucket(
 
 __all__ = [
     "SpillWriter",
+    "hybrid_class",
     "partition_fan_out",
     "partition_hash",
     "partition_relation",

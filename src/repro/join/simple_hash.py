@@ -11,7 +11,7 @@ catastrophic when it does not, exactly the steep curve of Figure 1.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
@@ -26,6 +26,64 @@ class SimpleHashJoin(JoinAlgorithm):
     name = "simple-hash"
 
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
+        if self.batch:
+            self._execute_batch(spec, output)
+        else:
+            self._execute_tuple(spec, output)
+
+    def _execute_batch(self, spec: JoinSpec, output: Relation) -> None:
+        """Bulk variant: keys hashed once per row, batch table ops."""
+        params = spec.params
+        passes = max(
+            1, math.ceil(spec.r.page_count * params.fudge / spec.memory_pages)
+        )
+        r_key, s_key = spec.r_key, spec.s_key
+
+        r_rows: List[Row] = list(spec.r)
+        s_rows: List[Row] = list(spec.s)
+
+        for current in range(passes):
+            table = HashIndex(self.counters, max_load=params.fudge)
+            self.counters.hash_key(len(r_rows))
+            passed_r: List[Row] = []
+            to_insert: List[Tuple[Any, Row]] = []
+            for row in r_rows:
+                k = r_key(row)
+                if partition_hash(k) % passes == current:
+                    to_insert.append((k, row))
+                else:
+                    passed_r.append(row)
+            table.insert_batch(to_insert)
+
+            self.counters.hash_key(len(s_rows))
+            passed_s: List[Row] = []
+            probe_keys: List[Any] = []
+            probe_rows: List[Row] = []
+            for row in s_rows:
+                k = s_key(row)
+                if partition_hash(k) % passes == current:
+                    probe_keys.append(k)
+                    probe_rows.append(row)
+                else:
+                    passed_s.append(row)
+            matched: List[Row] = []
+            for chain, s_row in zip(table.probe_batch(probe_keys), probe_rows):
+                if chain:
+                    matched.extend(r_row + s_row for r_row in chain)
+            output.extend_rows(matched)
+
+            if current == passes - 1:
+                if passed_r:
+                    raise RuntimeError(
+                        "simple hash left %d R tuples unprocessed" % len(passed_r)
+                    )
+                break
+
+            self._charge_spill(spec.r, passed_r)
+            self._charge_spill(spec.s, passed_s)
+            r_rows, s_rows = passed_r, passed_s
+
+    def _execute_tuple(self, spec: JoinSpec, output: Relation) -> None:
         params = spec.params
         passes = max(
             1, math.ceil(spec.r.page_count * params.fudge / spec.memory_pages)

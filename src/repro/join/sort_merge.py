@@ -18,8 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Iterator, List, Optional, Tuple
+import operator
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from repro.cost.counters import heap_push_charges
 from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
@@ -63,10 +65,30 @@ class SortMergeJoin(JoinAlgorithm):
     def _form_runs(
         self, spec: JoinSpec, relation: Relation, key_field: str, tag: str
     ) -> List[str]:
-        """Sort ``relation`` into runs on disk; return the run file names."""
+        """Sort ``relation`` into runs on disk; return the run file names.
+
+        In batch mode the replacement-selection charges are computed
+        arithmetically up front instead of per heap operation.  The heap
+        holds exactly ``capacity`` entries from the end of the initial
+        fill until the source dries up (every pop is followed by a push),
+        so the fill charges :func:`heap_push_charges` and each of the
+        remaining ``n - capacity`` pushes charges the constant
+        ``log2(capacity)`` compare+swap plus one fence comparison --
+        identical totals to the per-operation accounting.
+        """
         key = relation.key_of(key_field)
         capacity = spec.memory_tuples(relation.tuples_per_page)
         tuples_per_page = relation.tuples_per_page
+
+        bulk = self.batch
+        if bulk:
+            n = relation.cardinality
+            fill = min(n, capacity)
+            fill_charges = heap_push_charges(fill)
+            steady = n - fill
+            per_push = max(1, math.ceil(math.log2(capacity + 1)))
+            self.counters.compare(fill_charges + steady * (per_push + 1))
+            self.counters.swap_tuples(fill_charges + steady * per_push)
 
         run_names: List[str] = []
         # Heap entries: (fence, key, seq, row); fence orders the *next* run
@@ -76,7 +98,8 @@ class SortMergeJoin(JoinAlgorithm):
         source = iter(relation)
 
         for row in itertools.islice(source, capacity):
-            self.charge_heap_op(len(heap) + 1)
+            if not bulk:
+                self.charge_heap_op(len(heap) + 1)
             heapq.heappush(heap, (0, key(row), next(seq), row))
 
         current_fence = 0
@@ -104,8 +127,7 @@ class SortMergeJoin(JoinAlgorithm):
             if not run_buffer:
                 return
             page = Page(page_index, tuples_per_page)
-            for r in run_buffer:
-                page.add(r)
+            page.extend_rows(run_buffer)
             assert run_name is not None
             self.disk.append(run_name, page, sequential=page_index > 0)
             page_index += 1
@@ -125,9 +147,11 @@ class SortMergeJoin(JoinAlgorithm):
             nxt = next(source, None)
             if nxt is not None:
                 nk = key(nxt)
-                self.counters.compare()
+                if not bulk:
+                    self.counters.compare()
                 nfence = fence if nk >= k else fence + 1
-                self.charge_heap_op(len(heap) + 1)
+                if not bulk:
+                    self.charge_heap_op(len(heap) + 1)
                 heapq.heappush(heap, (nfence, nk, next(seq), nxt))
         flush_run_page()
         # Drop a trailing empty run (possible when input size divides runs).
@@ -170,7 +194,10 @@ class SortMergeJoin(JoinAlgorithm):
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
         total_pages = (spec.r.page_count + spec.s.page_count) * spec.params.fudge
         if total_pages <= spec.memory_pages:
-            self._execute_in_memory(spec, output)
+            if self.batch:
+                self._execute_in_memory_batch(spec, output)
+            else:
+                self._execute_in_memory(spec, output)
             return
 
         r_runs = self._form_runs(spec, spec.r, spec.r_field, "r")
@@ -215,6 +242,34 @@ class SortMergeJoin(JoinAlgorithm):
         )
         self._merge_join(iter(merged), output)
 
+    def _execute_in_memory_batch(self, spec: JoinSpec, output: Relation) -> None:
+        """Batch in-memory variant: stable sorts instead of explicit heaps.
+
+        Heap entries carry an insertion sequence number, so the tuple path
+        pops rows in *stable* key order -- exactly what ``list.sort`` on
+        the key produces -- and ``heapq.merge`` of two sorted streams with
+        ties favouring the first equals concatenation plus a stable sort.
+        Heap charges are computed arithmetically; identical totals.
+        """
+
+        def sorted_rows(
+            relation: Relation, field: str, source: int
+        ) -> List[Tuple[Any, int, Row]]:
+            key = relation.key_of(field)
+            items: List[Tuple[Any, int, Row]] = []
+            for page in relation.pages:
+                items.extend((key(row), source, row) for row in page.tuples)
+            charges = heap_push_charges(len(items))
+            self.counters.compare(charges)
+            self.counters.swap_tuples(charges)
+            items.sort(key=operator.itemgetter(0))
+            return items
+
+        merged = sorted_rows(spec.r, spec.r_field, 0)
+        merged.extend(sorted_rows(spec.s, spec.s_field, 1))
+        merged.sort(key=operator.itemgetter(0))
+        self._merge_join_batch(merged, output)
+
     def _merge_join(
         self, stream: Iterator[Tuple[Any, int, Row]], output: Relation
     ) -> None:
@@ -238,6 +293,27 @@ class SortMergeJoin(JoinAlgorithm):
                 have_group = True
             (r_group if source == 0 else s_group).append(row)
         flush_group()
+
+    def _merge_join_batch(
+        self, merged: Sequence[Tuple[Any, int, Row]], output: Relation
+    ) -> None:
+        """Group a materialised sorted stream and cross-match in bulk."""
+        self.counters.compare(len(merged))  # one merge comparison per tuple
+        matched: List[Row] = []
+        i, n = 0, len(merged)
+        while i < n:
+            k = merged[i][0]
+            r_group: List[Row] = []
+            s_group: List[Row] = []
+            j = i
+            while j < n and merged[j][0] == k:
+                (r_group if merged[j][1] == 0 else s_group).append(merged[j][2])
+                j += 1
+            if r_group and s_group:
+                for r_row in r_group:
+                    matched.extend(r_row + s_row for s_row in s_group)
+            i = j
+        output.extend_rows(matched)
 
 
 __all__ = ["SortMergeJoin"]

@@ -18,14 +18,15 @@ import enum
 import heapq
 import itertools
 import math
+import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cost.counters import OperationCounters
+from repro.cost.counters import OperationCounters, heap_push_charges
 from repro.join.partition import SpillWriter, partition_hash, read_bucket
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation, Row
-from repro.storage.tuples import DataType, Field, Schema
+from repro.storage.tuples import DataType, Field, Schema, tuple_projector
 
 
 class AggregateFunction(enum.Enum):
@@ -125,8 +126,11 @@ def _emit_groups(
     out: Relation,
     groups: Dict[Tuple[Any, ...], List[_Accumulator]],
 ) -> None:
-    for key, accs in groups.items():
-        out.insert_unchecked(key + tuple(acc.result() for acc in accs))
+    out.extend_rows(
+        [key + tuple(acc.result() for acc in accs) for key, accs in groups.items()]
+    )
+
+
 
 
 def hash_aggregate(
@@ -138,6 +142,7 @@ def hash_aggregate(
     fudge: float = 1.2,
     disk: Optional[SimulatedDisk] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
     _depth: int = 0,
 ) -> Relation:
     """One-pass hash aggregation with hybrid-hash overflow.
@@ -149,6 +154,10 @@ def hash_aggregate(
     partitions (one ``move`` plus IO, via ``disk``) which are then
     aggregated recursively -- the "variant of the hybrid-hash algorithm"
     the paper recommends when the result exceeds memory.
+
+    The default ``batch`` path walks pages with a hoisted key extractor
+    and charges the hash/compare counters in page-sized bulk; spill order,
+    results, and counter totals are identical to ``batch=False``.
     """
     counters = counters if counters is not None else OperationCounters()
     out_schema = _output_schema(relation.schema, group_by, aggregates)
@@ -171,14 +180,8 @@ def hash_aggregate(
     spill_files: List[str] = []
     buckets = 4
 
-    for row in relation:
-        key = tuple(row[i] for i in group_indexes)
-        counters.hash_key()
-        counters.compare()
-        if key in groups or capacity is None or len(groups) < capacity:
-            _fold(groups, key, row, agg_indexes, aggregates)
-            continue
-        # Overflow: this tuple's group cannot be admitted; partition it.
+    def ensure_writer() -> SpillWriter:
+        nonlocal disk, writer, spill_files
         if writer is None:
             if disk is None:
                 disk = SimulatedDisk(counters)
@@ -188,10 +191,42 @@ def hash_aggregate(
             writer = SpillWriter(
                 disk, spill_files, relation.tuples_per_page, counters
             )
-        # Salt the bucket hash with the recursion depth so a re-partitioned
-        # bucket actually splits (the paper's "apply the hybrid hash join
-        # recursively, adding an extra pass for the overflow tuples").
-        writer.write(partition_hash((_depth, key)) % buckets, row)
+        return writer
+
+    if batch:
+        keyfn = tuple_projector(group_indexes)
+        get = groups.get
+        for page in relation.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            counters.compare(len(rows))
+            for row in rows:
+                key = keyfn(row)
+                accs = get(key)
+                if accs is None:
+                    if capacity is not None and len(groups) >= capacity:
+                        ensure_writer().write(
+                            partition_hash((_depth, key)) % buckets, row
+                        )
+                        continue
+                    accs = [_Accumulator(spec.function) for spec in aggregates]
+                    groups[key] = accs
+                for acc, idx in zip(accs, agg_indexes):
+                    acc.update(row[idx] if idx is not None else 1)
+    else:
+        for row in relation:
+            key = tuple(row[i] for i in group_indexes)
+            counters.hash_key()
+            counters.compare()
+            if key in groups or capacity is None or len(groups) < capacity:
+                _fold(groups, key, row, agg_indexes, aggregates)
+                continue
+            # Overflow: this tuple's group cannot be admitted; partition it.
+            # Salt the bucket hash with the recursion depth so a
+            # re-partitioned bucket actually splits (the paper's "apply the
+            # hybrid hash join recursively, adding an extra pass for the
+            # overflow tuples").
+            ensure_writer().write(partition_hash((_depth, key)) % buckets, row)
 
     _emit_groups(out, groups)
 
@@ -205,8 +240,7 @@ def hash_aggregate(
             bucket_rel = Relation(
                 "%s.bucket" % relation.name, relation.schema, relation.page_bytes
             )
-            for row in rows:
-                bucket_rel.insert_unchecked(row)
+            bucket_rel.extend_rows(rows)
             partial = hash_aggregate(
                 bucket_rel,
                 group_by,
@@ -215,10 +249,11 @@ def hash_aggregate(
                 memory_pages=memory_pages,
                 fudge=fudge,
                 disk=disk,
+                batch=batch,
                 _depth=_depth + 1,
             )
-            for row in partial:
-                out.insert_unchecked(row)
+            for page in partial.pages:
+                out.extend_rows(page.tuples)
     return out
 
 
@@ -228,12 +263,19 @@ def sort_aggregate(
     aggregates: Sequence[AggregateSpec],
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """Sort-based baseline: heap-sort on the grouping key, fold neighbours.
 
     Charges ``log2(n)`` comparisons and swaps per tuple for the sort (the
     priority-queue accounting of Section 3.4) plus one comparison per tuple
     for the neighbour check.
+
+    The ``batch`` path replaces the explicit heap with a stable
+    ``list.sort`` (identical order: heap entries carry an insertion
+    sequence number, so pops come out in stable key order) and computes
+    the heap-operation charges arithmetically -- same results, same
+    counter totals.
     """
     counters = counters if counters is not None else OperationCounters()
     out_schema = _output_schema(relation.schema, group_by, aggregates)
@@ -246,28 +288,51 @@ def sort_aggregate(
         for s in aggregates
     ]
 
-    heap: List[Tuple[Tuple[Any, ...], int, Row]] = []
-    seq = itertools.count()
-    for row in relation:
-        levels = max(1, math.ceil(math.log2(len(heap) + 2)))
-        counters.compare(levels)
-        counters.swap_tuples(levels)
-        heapq.heappush(heap, (tuple(row[i] for i in group_indexes), next(seq), row))
+    if batch:
+        keyfn = tuple_projector(group_indexes)
+        pairs: List[Tuple[Tuple[Any, ...], Row]] = []
+        for page in relation.pages:
+            pairs.extend((keyfn(row), row) for row in page.tuples)
+        charges = heap_push_charges(len(pairs))
+        counters.compare(charges)
+        counters.swap_tuples(charges)
+        # Stable sort by key == heap order with the sequence tiebreak.
+        pairs.sort(key=operator.itemgetter(0))
+        counters.compare(len(pairs))  # one neighbour check per pop
+        ordered: Iterable[Tuple[Tuple[Any, ...], Row]] = pairs
+    else:
+        heap: List[Tuple[Tuple[Any, ...], int, Row]] = []
+        seq = itertools.count()
+        for row in relation:
+            levels = max(1, math.ceil(math.log2(len(heap) + 2)))
+            counters.compare(levels)
+            counters.swap_tuples(levels)
+            heapq.heappush(
+                heap, (tuple(row[i] for i in group_indexes), next(seq), row)
+            )
+
+        def _pop_all() -> Iterable[Tuple[Tuple[Any, ...], Row]]:
+            while heap:
+                key, _, row = heapq.heappop(heap)
+                counters.compare()
+                yield key, row
+
+        ordered = _pop_all()
 
     current: Optional[Tuple[Any, ...]] = None
     accs: List[_Accumulator] = []
-    while heap:
-        key, _, row = heapq.heappop(heap)
-        counters.compare()
+    emitted: List[Row] = []
+    for key, row in ordered:
         if key != current:
             if current is not None:
-                out.insert_unchecked(current + tuple(a.result() for a in accs))
+                emitted.append(current + tuple(a.result() for a in accs))
             current = key
             accs = [_Accumulator(spec.function) for spec in aggregates]
         for acc, idx in zip(accs, agg_indexes):
             acc.update(row[idx] if idx is not None else 1)
     if current is not None:
-        out.insert_unchecked(current + tuple(a.result() for a in accs))
+        emitted.append(current + tuple(a.result() for a in accs))
+    out.extend_rows(emitted)
     return out
 
 

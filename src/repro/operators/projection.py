@@ -15,6 +15,7 @@ from repro.cost.counters import OperationCounters
 from repro.operators.aggregate import hash_aggregate, sort_aggregate
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation
+from repro.storage.tuples import tuple_projector
 
 
 def _plain_project(
@@ -22,6 +23,7 @@ def _plain_project(
     columns: Sequence[str],
     counters: OperationCounters,
     output_name: Optional[str],
+    batch: bool = True,
 ) -> Relation:
     out = Relation(
         output_name or ("project(%s)" % relation.name),
@@ -29,6 +31,13 @@ def _plain_project(
         relation.page_bytes,
     )
     indexes = [relation.schema.index_of(c) for c in columns]
+    if batch:
+        getter = tuple_projector(indexes)
+        for page in relation.pages:
+            rows = page.tuples
+            counters.move_tuple(len(rows))
+            out.extend_rows([getter(row) for row in rows])
+        return out
     for row in relation:
         counters.move_tuple()
         out.insert_unchecked(tuple(row[i] for i in indexes))
@@ -44,11 +53,12 @@ def hash_project(
     fudge: float = 1.2,
     disk: Optional[SimulatedDisk] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """Project onto ``columns``; hash-deduplicate when ``distinct``."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
-        return _plain_project(relation, columns, counters, output_name)
+        return _plain_project(relation, columns, counters, output_name, batch)
     return hash_aggregate(
         relation,
         group_by=list(columns),
@@ -58,6 +68,7 @@ def hash_project(
         fudge=fudge,
         disk=disk,
         output_name=output_name or ("project(%s)" % relation.name),
+        batch=batch,
     )
 
 
@@ -67,17 +78,19 @@ def sort_project(
     distinct: bool = True,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """Sort-based projection baseline (duplicates collapse after sorting)."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
-        return _plain_project(relation, columns, counters, output_name)
+        return _plain_project(relation, columns, counters, output_name, batch)
     return sort_aggregate(
         relation,
         group_by=list(columns),
         aggregates=[],
         counters=counters,
         output_name=output_name or ("project(%s)" % relation.name),
+        batch=batch,
     )
 
 

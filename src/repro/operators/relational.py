@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cost.counters import OperationCounters
 from repro.storage.relation import Relation, Row
-from repro.storage.tuples import Schema
+from repro.storage.tuples import Schema, tuple_projector
 
 
 def _require_compatible(a: Relation, b: Relation, op: str) -> None:
@@ -39,6 +39,7 @@ def cross_product(
     s: Relation,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """``R x S`` -- every pairing, charged one move per output tuple."""
     counters = counters if counters is not None else OperationCounters()
@@ -51,6 +52,15 @@ def cross_product(
         schema,
         max(r.page_bytes, schema.tuple_bytes),
     )
+    if batch:
+        s_pages = s.pages
+        for r_page in r.pages:
+            for r_row in r_page.tuples:
+                for s_page in s_pages:
+                    rows = s_page.tuples
+                    counters.move_tuple(len(rows))
+                    out.extend_rows([r_row + s_row for s_row in rows])
+        return out
     for r_row in r:
         for s_row in s:
             counters.move_tuple()
@@ -66,6 +76,7 @@ def divide(
     divisor_attr: Optional[Sequence[str]] = None,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """Relational division: group values related to every divisor tuple.
 
@@ -90,11 +101,21 @@ def divide(
     attr_idx = [r.schema.index_of(c) for c in r_attr]
     div_idx = [divisor.schema.index_of(c) for c in divisor_attr]
 
+    group_key = tuple_projector(group_idx)
+    attr_key = tuple_projector(attr_idx)
+    div_key = tuple_projector(div_idx)
+
     # Pass 1: hash the divisor into a set.
     required: Set[Tuple[Any, ...]] = set()
-    for row in divisor:
-        counters.hash_key()
-        required.add(tuple(row[i] for i in div_idx))
+    if batch:
+        for page in divisor.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            required.update(map(div_key, rows))
+    else:
+        for row in divisor:
+            counters.hash_key()
+            required.add(tuple(row[i] for i in div_idx))
 
     out = Relation(
         output_name or ("divide(%s,%s)" % (r.name, divisor.name)),
@@ -104,6 +125,18 @@ def divide(
     if not required:
         # X / {} is all x-values by convention (vacuous universality).
         seen_groups: Set[Tuple[Any, ...]] = set()
+        if batch:
+            for page in r.pages:
+                rows = page.tuples
+                counters.hash_key(len(rows))
+                fresh: List[Tuple[Any, ...]] = []
+                for row in rows:
+                    key = group_key(row)
+                    if key not in seen_groups:
+                        seen_groups.add(key)
+                        fresh.append(key)
+                out.extend_rows(fresh)
+            return out
         for row in r:
             counters.hash_key()
             key = tuple(row[i] for i in group_idx)
@@ -114,6 +147,22 @@ def divide(
 
     # Pass 2: per x-group, collect which required members are covered.
     covered: Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]] = {}
+    if batch:
+        for page in r.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            counters.compare(len(rows))
+            for row in rows:
+                member = attr_key(row)
+                if member not in required:
+                    continue
+                covered.setdefault(group_key(row), set()).add(member)
+        counters.compare(len(covered))
+        want = len(required)
+        out.extend_rows(
+            [key for key, members in covered.items() if len(members) == want]
+        )
+        return out
     for row in r:
         counters.hash_key()
         counters.compare()
@@ -136,6 +185,7 @@ def union_(
     distinct: bool = True,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """``A UNION B`` (hash-deduplicated) or ``UNION ALL``."""
     counters = counters if counters is not None else OperationCounters()
@@ -146,6 +196,13 @@ def union_(
         a.page_bytes,
     )
     if not distinct:
+        if batch:
+            for source in (a, b):
+                for page in source.pages:
+                    rows = page.tuples
+                    counters.move_tuple(len(rows))
+                    out.extend_rows(rows)
+            return out
         for row in a:
             counters.move_tuple()
             out.insert_unchecked(row)
@@ -154,6 +211,18 @@ def union_(
             out.insert_unchecked(row)
         return out
     seen: Set[Row] = set()
+    if batch:
+        for source in (a, b):
+            for page in source.pages:
+                rows = page.tuples
+                counters.hash_key(len(rows))
+                fresh: List[Row] = []
+                for row in rows:
+                    if row not in seen:
+                        seen.add(row)
+                        fresh.append(row)
+                out.extend_rows(fresh)
+        return out
     for source in (a, b):
         for row in source:
             counters.hash_key()
@@ -168,6 +237,7 @@ def intersect(
     b: Relation,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """``A INTERSECT B`` (set semantics): hash the smaller, probe the
     larger -- the simple-hash pattern."""
@@ -175,15 +245,31 @@ def intersect(
     _require_compatible(a, b, "intersect")
     build, probe = (a, b) if a.cardinality <= b.cardinality else (b, a)
     table: Set[Row] = set()
-    for row in build:
-        counters.hash_key()
-        table.add(row)
     out = Relation(
         output_name or ("intersect(%s,%s)" % (a.name, b.name)),
         a.schema,
         a.page_bytes,
     )
     emitted: Set[Row] = set()
+    if batch:
+        for page in build.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            table.update(rows)
+        for page in probe.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            counters.compare(len(rows))
+            fresh: List[Row] = []
+            for row in rows:
+                if row in table and row not in emitted:
+                    emitted.add(row)
+                    fresh.append(row)
+            out.extend_rows(fresh)
+        return out
+    for row in build:
+        counters.hash_key()
+        table.add(row)
     for row in probe:
         counters.hash_key()
         counters.compare()
@@ -198,20 +284,37 @@ def difference(
     b: Relation,
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    batch: bool = True,
 ) -> Relation:
     """``A EXCEPT B`` (set semantics): hash B, anti-probe with A."""
     counters = counters if counters is not None else OperationCounters()
     _require_compatible(a, b, "difference")
     table: Set[Row] = set()
-    for row in b:
-        counters.hash_key()
-        table.add(row)
     out = Relation(
         output_name or ("except(%s,%s)" % (a.name, b.name)),
         a.schema,
         a.page_bytes,
     )
     emitted: Set[Row] = set()
+    if batch:
+        for page in b.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            table.update(rows)
+        for page in a.pages:
+            rows = page.tuples
+            counters.hash_key(len(rows))
+            counters.compare(len(rows))
+            fresh: List[Row] = []
+            for row in rows:
+                if row not in table and row not in emitted:
+                    emitted.add(row)
+                    fresh.append(row)
+            out.extend_rows(fresh)
+        return out
+    for row in b:
+        counters.hash_key()
+        table.add(row)
     for row in a:
         counters.hash_key()
         counters.compare()

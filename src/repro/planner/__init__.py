@@ -18,6 +18,8 @@ This package implements both sides of that argument:
 * :mod:`repro.planner.planner` -- the optimizer: selection pushdown,
   greedy most-selective-first join ordering, cost-based join algorithm and
   access-path choice (which, with large memory, always lands on hashing).
+* :mod:`repro.planner.reuse` -- the materialised-subplan reuse cache
+  (fingerprint-addressed, invalidated on base-table mutation).
 """
 
 from repro.planner.plan import (
@@ -32,6 +34,7 @@ from repro.planner.plan import (
 )
 from repro.planner.planner import Planner, PlannerConfig
 from repro.planner.query import JoinClause, Query
+from repro.planner.reuse import PlanReuseCache
 from repro.planner.selectivity import estimate_selectivity
 from repro.planner.sql import SqlError, parse_sql
 
@@ -43,6 +46,7 @@ __all__ = [
     "JoinNode",
     "PlanContext",
     "PlanNode",
+    "PlanReuseCache",
     "Planner",
     "PlannerConfig",
     "ProjectNode",

@@ -30,6 +30,7 @@ from repro.operators.selection import (
     select,
     select_via_index,
 )
+from repro.planner.reuse import PlanReuseCache
 from repro.storage.catalog import Catalog
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation
@@ -46,6 +47,14 @@ class PlanContext:
     w: float = 1.0
     counters: OperationCounters = field(default_factory=OperationCounters)
     disk: Optional[SimulatedDisk] = None
+    #: Page-at-a-time operator execution (see docs/PERF.md); ``False``
+    #: selects the historical tuple-at-a-time loops.  Results and counted
+    #: costs are identical either way.
+    batch: bool = True
+    #: Worker processes for the partitioned hash joins (1 = serial).
+    join_workers: int = 1
+    #: Materialised-subplan cache; ``None`` disables reuse.
+    reuse_cache: Optional[PlanReuseCache] = None
 
     def __post_init__(self) -> None:
         if self.disk is None:
@@ -54,6 +63,11 @@ class PlanContext:
 
 class PlanNode(abc.ABC):
     """One operator of a physical plan tree."""
+
+    #: Whether the node's materialised output may be served from the
+    #: reuse cache.  Base-table scans return the live relation and are
+    #: never cached.
+    cacheable = True
 
     def __init__(self, schema: Schema, estimated_rows: float) -> None:
         self.schema = schema
@@ -65,9 +79,41 @@ class PlanNode(abc.ABC):
         per_page = max(1, 4096 // self.schema.tuple_bytes)
         return self.estimated_rows / per_page
 
-    @abc.abstractmethod
     def execute(self, ctx: PlanContext) -> Relation:
-        """Run the subtree and materialise its output."""
+        """Run the subtree, serving it from the reuse cache when possible.
+
+        The cache key is the node's canonical :meth:`fingerprint` (which
+        embeds the version of every base relation read, so mutation makes
+        old entries unaddressable) plus the memory grant, which changes
+        spill behaviour and therefore the charged costs.
+        """
+        cache = ctx.reuse_cache
+        if cache is None or not self.cacheable:
+            return self._run(ctx)
+        key = (self.fingerprint(ctx), ctx.memory_pages)
+        found = cache.get(key)
+        if found is not None:
+            return found
+        result = self._run(ctx)
+        cache.put(key, result, self.tables())
+        return result
+
+    @abc.abstractmethod
+    def _run(self, ctx: PlanContext) -> Relation:
+        """Operator body: materialise this subtree's output."""
+
+    @abc.abstractmethod
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        """Canonical identity of this subplan over current table versions."""
+
+    def tables(self) -> List[str]:
+        """Names of every base table this subtree reads."""
+        seen: List[str] = []
+        for child in self.children():
+            for name in child.tables():
+                if name not in seen:
+                    seen.append(name)
+        return seen
 
     @abc.abstractmethod
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -99,6 +145,9 @@ class PlanNode(abc.ABC):
 class ScanNode(PlanNode):
     """Full scan of a memory-resident base table."""
 
+    # Returns the live base relation; caching it would alias mutations.
+    cacheable = False
+
     def __init__(self, table: str, catalog: Catalog) -> None:
         stats = catalog.stats(table)
         super().__init__(catalog.relation(table).schema, stats.cardinality)
@@ -107,7 +156,13 @@ class ScanNode(PlanNode):
     def label(self) -> str:
         return "Scan(%s)" % self.table
 
-    def execute(self, ctx: PlanContext) -> Relation:
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return ("scan", self.table, ctx.catalog.relation(self.table).version)
+
+    def tables(self) -> List[str]:
+        return [self.table]
+
+    def _run(self, ctx: PlanContext) -> Relation:
         return ctx.catalog.relation(self.table)
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -145,7 +200,18 @@ class IndexScanNode(PlanNode):
             self.predicate.value,
         )
 
-    def execute(self, ctx: PlanContext) -> Relation:
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return (
+            "idxscan",
+            self.table,
+            ctx.catalog.relation(self.table).version,
+            self.predicate.fingerprint(),
+        )
+
+    def tables(self) -> List[str]:
+        return [self.table]
+
+    def _run(self, ctx: PlanContext) -> Relation:
         index = ctx.catalog.index(self.table, self.predicate.column)
         if index is None:
             raise RuntimeError(
@@ -181,8 +247,20 @@ class FilterNode(PlanNode):
     def label(self) -> str:
         return "Filter(%s)" % (self.predicate,)
 
-    def execute(self, ctx: PlanContext) -> Relation:
-        return select(self.child.execute(ctx), self.predicate, ctx.counters)
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return (
+            "filter",
+            self.child.fingerprint(ctx),
+            self.predicate.fingerprint(),
+        )
+
+    def _run(self, ctx: PlanContext) -> Relation:
+        return select(
+            self.child.execute(ctx),
+            self.predicate,
+            ctx.counters,
+            batch=ctx.batch,
+        )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
         per_tuple = self.predicate.comparisons()
@@ -224,10 +302,25 @@ class JoinNode(PlanNode):
             self.right_column,
         )
 
-    def execute(self, ctx: PlanContext) -> Relation:
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return (
+            "join",
+            self.algorithm,
+            self.left.fingerprint(ctx),
+            self.right.fingerprint(ctx),
+            self.left_column,
+            self.right_column,
+        )
+
+    def _run(self, ctx: PlanContext) -> Relation:
         left_rel = self.left.execute(ctx)
         right_rel = self.right.execute(ctx)
-        algo = ALL_JOINS[self.algorithm](counters=ctx.counters, disk=ctx.disk)
+        algo = ALL_JOINS[self.algorithm](
+            counters=ctx.counters,
+            disk=ctx.disk,
+            batch=ctx.batch,
+            workers=ctx.join_workers,
+        )
         spec = JoinSpec(
             r=left_rel,
             s=right_rel,
@@ -281,10 +374,21 @@ class ProjectNode(PlanNode):
         tag = "distinct " if self.distinct else ""
         return "Project[%s](%s%s)" % (self.method, tag, ", ".join(self.columns))
 
-    def execute(self, ctx: PlanContext) -> Relation:
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return (
+            "project",
+            self.child.fingerprint(ctx),
+            tuple(self.columns),
+            self.distinct,
+            self.method,
+        )
+
+    def _run(self, ctx: PlanContext) -> Relation:
         child = self.child.execute(ctx)
         if self.method == "sort":
-            return sort_project(child, self.columns, self.distinct, ctx.counters)
+            return sort_project(
+                child, self.columns, self.distinct, ctx.counters, batch=ctx.batch
+            )
         return hash_project(
             child,
             self.columns,
@@ -293,6 +397,7 @@ class ProjectNode(PlanNode):
             memory_pages=ctx.memory_pages,
             fudge=ctx.params.fudge,
             disk=ctx.disk,
+            batch=ctx.batch,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -340,11 +445,23 @@ class AggregateNode(PlanNode):
             aggs,
         )
 
-    def execute(self, ctx: PlanContext) -> Relation:
+    def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
+        return (
+            "agg",
+            self.child.fingerprint(ctx),
+            tuple(self.group_by),
+            tuple(
+                (a.function.value, a.column, a.alias) for a in self.aggregates
+            ),
+            self.method,
+        )
+
+    def _run(self, ctx: PlanContext) -> Relation:
         child = self.child.execute(ctx)
         if self.method == "sort":
             return sort_aggregate(
-                child, self.group_by, self.aggregates, ctx.counters
+                child, self.group_by, self.aggregates, ctx.counters,
+                batch=ctx.batch,
             )
         return hash_aggregate(
             child,
@@ -354,6 +471,7 @@ class AggregateNode(PlanNode):
             memory_pages=ctx.memory_pages,
             fudge=ctx.params.fudge,
             disk=ctx.disk,
+            batch=ctx.batch,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:

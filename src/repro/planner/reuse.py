@@ -1,0 +1,129 @@
+"""Materialised-subplan reuse -- caching plan results across queries.
+
+A main memory database pays no IO to keep an intermediate result around,
+so a repeated subplan (the same filter over the same table, the same join
+of the same inputs) can return its previous materialisation instead of
+recomputing -- the MMDB analogue of a materialized-view / common-
+subexpression cache.
+
+Entries are keyed by a **canonical fingerprint** of the subplan: a nested
+tuple of operator kinds, their parameters, and -- crucially -- the
+``version`` stamp of every base relation the subplan reads.  A relation
+bumps its version on every mutation, so a stale entry simply stops being
+addressable the moment any of its inputs changes.  On top of that,
+:meth:`PlanReuseCache.invalidate` eagerly drops entries touching a table
+(the database facade calls it on insert/delete/drop), which keeps the
+cache from accumulating unreachable results and guards against a dropped
+table being recreated at an old version number.
+
+Cache hits return the previously materialised
+:class:`~repro.storage.relation.Relation` *object*; treat it as
+read-only, exactly like the relation a base-table scan returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.storage.relation import Relation
+
+Fingerprint = Hashable
+
+
+class PlanReuseCache:
+    """Fingerprint-addressed store of materialised subplan results."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: Dict[Fingerprint, Relation] = {}
+        self._tables: Dict[Fingerprint, Tuple[str, ...]] = {}
+        self._by_table: Dict[str, Set[Fingerprint]] = {}
+        #: Lookup statistics, exposed through ``stats()``.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, fingerprint: Fingerprint) -> Optional[Relation]:
+        """The cached result, or ``None`` (counts a hit or a miss)."""
+        found = self._entries.get(fingerprint)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(
+        self,
+        fingerprint: Fingerprint,
+        result: Relation,
+        tables: Iterable[str],
+    ) -> None:
+        """Store ``result`` for ``fingerprint``, tagged with its base tables."""
+        if fingerprint in self._entries:
+            self._entries[fingerprint] = result
+            return
+        while len(self._entries) >= self.max_entries:
+            self._evict_oldest()
+        names = tuple(sorted(set(tables)))
+        self._entries[fingerprint] = result
+        self._tables[fingerprint] = names
+        for name in names:
+            self._by_table.setdefault(name, set()).add(fingerprint)
+
+    def _evict_oldest(self) -> None:
+        # Dicts iterate in insertion order: FIFO eviction, cheap and
+        # deterministic.  The workloads here repeat hot subplans quickly,
+        # so recency tracking buys nothing.
+        oldest = next(iter(self._entries))
+        self._drop(oldest)
+
+    def _drop(self, fingerprint: Fingerprint) -> None:
+        self._entries.pop(fingerprint, None)
+        for name in self._tables.pop(fingerprint, ()):
+            members = self._by_table.get(name)
+            if members is not None:
+                members.discard(fingerprint)
+                if not members:
+                    del self._by_table[name]
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(self, table: str) -> int:
+        """Drop every entry whose subplan reads ``table``; return count."""
+        victims = list(self._by_table.get(table, ()))
+        for fingerprint in victims:
+            self._drop(fingerprint)
+        self.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._tables.clear()
+        self._by_table.clear()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return "PlanReuseCache(%d entries, %d hits, %d misses)" % (
+            len(self._entries),
+            self.hits,
+            self.misses,
+        )
+
+
+__all__ = ["PlanReuseCache"]

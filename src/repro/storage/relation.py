@@ -8,6 +8,7 @@ to / loading from a :class:`~repro.storage.disk.SimulatedDisk`.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.disk import SimulatedDisk
@@ -35,6 +36,12 @@ class Relation:
         self.page_bytes = page_bytes
         self._tuples_per_page = schema.tuples_per_page(page_bytes)
         self._pages: List[Page] = []
+        #: Incrementally maintained tuple count (``||R||``).
+        self._count = 0
+        #: Monotonic mutation stamp; any change to the contents bumps it.
+        #: The planner's reuse cache keys fingerprints on it so cached
+        #: results of stale subplans can never be served.
+        self._version = 0
 
     # -- geometry ---------------------------------------------------------------
 
@@ -50,8 +57,13 @@ class Relation:
 
     @property
     def cardinality(self) -> int:
-        """``||R||`` -- the number of tuples."""
-        return sum(len(p) for p in self._pages)
+        """``||R||`` -- the number of tuples (O(1), maintained on mutation)."""
+        return self._count
+
+    @property
+    def version(self) -> int:
+        """Mutation stamp for cache invalidation (bumped on every change)."""
+        return self._version
 
     def __len__(self) -> int:
         return self.cardinality
@@ -73,19 +85,69 @@ class Relation:
         if not self._pages or self._pages[-1].is_full:
             self._pages.append(Page(len(self._pages), self._tuples_per_page))
         slot = self._pages[-1].add(row)
+        self._count += 1
+        self._version += 1
         return len(self._pages) - 1, slot
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert many tuples; return how many were added."""
-        count = 0
-        for values in rows:
-            self.insert(values)
-            count += 1
-        return count
+        """Validate and insert many tuples; return how many were added.
+
+        Validation happens in a single :meth:`Schema.validate_batch` call
+        and the rows land page-at-a-time, so a bulk load costs a few
+        Python-level calls per page rather than several per row.
+        """
+        return self.extend_rows(self.schema.validate_batch(rows))
+
+    def extend_rows(self, rows: Sequence[Row]) -> int:
+        """Append many pre-validated tuples page-at-a-time; return count.
+
+        The bulk analogue of :meth:`insert_unchecked` -- the batch
+        executor's only output path.  ``rows`` must already be plain
+        tuples matching the schema.
+        """
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        n = len(rows)
+        if n == 0:
+            return 0
+        pages = self._pages
+        cap = self._tuples_per_page
+        pos = 0
+        while pos < n:
+            if not pages or pages[-1].is_full:
+                pages.append(Page(len(pages), cap))
+            # Slice at most one page worth per round: O(n) total copying.
+            pos += pages[-1].extend_rows(rows[pos:pos + cap])
+        self._count += n
+        self._version += 1
+        return n
+
+    def append_page(self, page: Page) -> int:
+        """Adopt a whole page of pre-validated tuples; return its count.
+
+        When the relation's last page is full (or absent) and ``page`` has
+        the native capacity, the page object is adopted directly (re-ided,
+        zero per-tuple work); otherwise its tuples are folded in through
+        :meth:`extend_rows`.
+        """
+        n = len(page)
+        if n == 0:
+            return 0
+        if page.capacity == self._tuples_per_page and (
+            not self._pages or self._pages[-1].is_full
+        ):
+            page.page_id = len(self._pages)
+            self._pages.append(page)
+            self._count += n
+            self._version += 1
+            return n
+        return self.extend_rows(page.tuples)
 
     def truncate(self) -> None:
         """Drop every tuple (the schema survives)."""
         self._pages.clear()
+        self._count = 0
+        self._version += 1
 
     # -- access -------------------------------------------------------------------
 
@@ -98,6 +160,7 @@ class Relation:
         """Overwrite the tuple at ``tid``; return the old value."""
         row = self.schema.validate(values)
         page_no, slot = tid
+        self._version += 1
         return self._pages[page_no].replace(slot, row)
 
     def __iter__(self) -> Iterator[Row]:
@@ -116,9 +179,8 @@ class Relation:
         return row[self.schema.index_of(field)]
 
     def key_of(self, field: str) -> Callable[[Row], Any]:
-        """A fast key extractor for ``field``."""
-        idx = self.schema.index_of(field)
-        return lambda row: row[idx]
+        """A fast key extractor for ``field`` (a C-level itemgetter)."""
+        return operator.itemgetter(self.schema.index_of(field))
 
     # -- disk interchange ------------------------------------------------------------
 
@@ -144,8 +206,9 @@ class Relation:
         """Read a spilled relation back from ``disk`` (sequential IO)."""
         rel = cls(name, schema, page_bytes)
         for page in disk.scan(file_name):
-            for row in page:
-                rel.insert_unchecked(row)
+            # Copy before adopting: the disk hands back its stored page
+            # objects, which must not alias the relation's live pages.
+            rel.append_page(page.copy())
         return rel
 
     def __repr__(self) -> str:
