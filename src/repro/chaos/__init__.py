@@ -21,8 +21,22 @@ stable memory) is only worth climbing if recovery is correct under
 See ``docs/CHAOS.md`` for the injection-point map and replay workflow.
 """
 
-from repro.chaos.injector import CrashSignal, FaultInjector, FaultPlan
+from repro.chaos.executor import (
+    ExecutorChaosFailure,
+    ExecutorScenario,
+    ExecutorSweepReport,
+    capture_baseline,
+    executor_sweep,
+    run_executor_seed,
+)
+from repro.chaos.injector import (
+    WORKER_FAULT_KINDS,
+    CrashSignal,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.chaos.invariants import (
+    DegradedRunOracle,
     InvariantChecker,
     InvariantReport,
     InvariantViolation,
@@ -46,6 +60,10 @@ from repro.chaos.harness import (
 __all__ = [
     "ChaosFailure",
     "CrashSignal",
+    "DegradedRunOracle",
+    "ExecutorChaosFailure",
+    "ExecutorScenario",
+    "ExecutorSweepReport",
     "FaultInjector",
     "FaultPlan",
     "InvariantChecker",
@@ -55,12 +73,16 @@ __all__ = [
     "ScenarioRun",
     "ShadowDatabase",
     "SweepReport",
+    "WORKER_FAULT_KINDS",
     "build_scenario",
     "capture",
+    "capture_baseline",
     "check_run",
+    "executor_sweep",
     "exhaustive_sweep",
     "profile_points",
     "replay_seed",
+    "run_executor_seed",
     "run_scenario",
     "seeded_sweep",
 ]

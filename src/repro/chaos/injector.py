@@ -34,6 +34,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+#: Worker-fault kinds the executor seam can inject into a pool job:
+#: ``kill`` makes the forked worker exit hard (simulating a crash),
+#: ``hang`` makes it sleep past any reasonable timeout (a wedged worker),
+#: ``garble`` makes it return a non-sentinel payload (a corrupted result
+#: the coordinator must detect and discard).
+WORKER_FAULT_KINDS = ("kill", "hang", "garble")
+
 
 class CrashSignal(Exception):
     """Raised at an injected crash point to freeze the simulation.
@@ -70,9 +77,32 @@ class FaultPlan:
     drop_checkpoint_prob: float = 0.0
     #: Seed for every sampled decision above.
     seed: int = 0
+    # -- executor seams (the query side of the house; see docs/ROBUSTNESS.md).
+    #: Cancel the running query's token at this executor checkpoint.
+    cancel_at_page: Optional[int] = None
+    #: Revoke the running query's memory grant at this checkpoint ...
+    revoke_at_page: Optional[int] = None
+    #: ... down to this many pages.
+    revoke_to_pages: int = 2
+    #: Worker faults by dispatched-bucket-job sequence index; values are
+    #: drawn from :data:`WORKER_FAULT_KINDS`.
+    worker_faults: Dict[int, str] = field(default_factory=dict)
 
     def describe(self) -> str:
         parts = ["crash@%s" % self.crash_at_point]
+        if self.cancel_at_page is not None:
+            parts.append("cancel@page%d" % self.cancel_at_page)
+        if self.revoke_at_page is not None:
+            parts.append(
+                "revoke@page%d->%dp" % (self.revoke_at_page, self.revoke_to_pages)
+            )
+        if self.worker_faults:
+            parts.append(
+                "workers(%s)"
+                % ",".join(
+                    "%d:%s" % (i, k) for i, k in sorted(self.worker_faults.items())
+                )
+            )
         if self.write_delay_prob:
             parts.append(
                 "delay(p=%.2f,max=%gs)" % (self.write_delay_prob, self.write_delay_max)
@@ -105,6 +135,12 @@ class FaultInjector:
         self.checkpoint_writes_dropped = 0
         self.pages_torn = 0
         self.trace: List[str] = []
+        # Executor-seam tallies (see executor_page / worker_fault).
+        self.exec_pages = 0
+        self.worker_jobs = 0
+        self.queries_cancelled = 0
+        self.grants_revoked = 0
+        self.worker_faults_injected = 0
 
     # -- constructors ------------------------------------------------------------
 
@@ -136,6 +172,38 @@ class FaultInjector:
             write_delay_max=rng.uniform(0.001, 0.03),
             tear_prob=rng.uniform(0.0, 0.8),
             drop_checkpoint_prob=rng.uniform(0.0, 0.25),
+            seed=seed,
+        )
+        return cls(plan)
+
+    @classmethod
+    def seeded_executor(
+        cls, seed: int, max_pages: int, max_jobs: int = 8
+    ) -> "FaultInjector":
+        """A seeded executor fault schedule (query side of the house).
+
+        Mirrors :meth:`seeded` for the governor's seams: the seed fully
+        determines whether/where the schedule cancels the query, revokes
+        its memory grant, and which parallel bucket jobs fail (and how).
+        The 1.25 slack means some schedules fire after the query finished
+        -- a no-op run, worth covering like the recovery sweep's
+        crash-on-idle case.
+        """
+        rng = random.Random(seed ^ 0xE8EC)
+        slack = int(max_pages * 1.25) + 1
+        cancel = rng.randrange(0, slack) if rng.random() < 0.35 else None
+        revoke = rng.randrange(0, slack) if rng.random() < 0.6 else None
+        faults: Dict[int, str] = {}
+        for job in range(max_jobs):
+            if rng.random() < 0.25:
+                faults[job] = WORKER_FAULT_KINDS[
+                    rng.randrange(len(WORKER_FAULT_KINDS))
+                ]
+        plan = FaultPlan(
+            cancel_at_page=cancel,
+            revoke_at_page=revoke,
+            revoke_to_pages=rng.randrange(2, 8),
+            worker_faults=faults,
             seed=seed,
         )
         return cls(plan)
@@ -211,6 +279,38 @@ class FaultInjector:
         self.checkpoint_writes_dropped += 1
         return True
 
+    # -- executor seams (governor / worker pool) ---------------------------------
+
+    def executor_page(self, token=None, grant=None) -> None:
+        """Tick one executor checkpoint; fire cancel/revoke if scheduled.
+
+        Wired as ``CancellationToken.on_check`` by
+        :meth:`repro.governor.Governor.attach_chaos`, so it fires exactly
+        once per page of query work -- the same deterministic numbering
+        that makes crash points replayable makes these faults replayable.
+        """
+        idx = self.exec_pages
+        self.exec_pages += 1
+        if token is not None and self.plan.cancel_at_page == idx:
+            token.cancel()
+            self.queries_cancelled += 1
+        if grant is not None and self.plan.revoke_at_page == idx:
+            grant.revoke(self.plan.revoke_to_pages)
+            self.grants_revoked += 1
+
+    def worker_fault(self) -> Optional[str]:
+        """The fault (if any) to inject into the next dispatched bucket job.
+
+        Returns a :data:`WORKER_FAULT_KINDS` member or None.  Job indexes
+        count dispatches in submission order, which is deterministic.
+        """
+        idx = self.worker_jobs
+        self.worker_jobs += 1
+        kind = self.plan.worker_faults.get(idx)
+        if kind is not None:
+            self.worker_faults_injected += 1
+        return kind
+
     # -- torn pages --------------------------------------------------------------
 
     def torn_records(self, log_manager) -> List[object]:
@@ -244,4 +344,4 @@ class FaultInjector:
         )
 
 
-__all__ = ["CrashSignal", "FaultInjector", "FaultPlan"]
+__all__ = ["CrashSignal", "FaultInjector", "FaultPlan", "WORKER_FAULT_KINDS"]

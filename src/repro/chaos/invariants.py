@@ -209,6 +209,85 @@ class InvariantChecker:
         )
 
 
+class DegradedRunOracle:
+    """The degraded-execution contract for governed queries.
+
+    A query that runs under the governor while chaos cancels tokens,
+    revokes grants, or fails pool workers must satisfy:
+
+    1. **All-or-typed-error** -- the query either returns its rows or
+       raises a typed governor error (:class:`~repro.errors.GovernorError`
+       subclass); bare exceptions and silent partial results are
+       violations.
+    2. **Row fidelity** -- when the query completes, its rows are the
+       exact multiset the undisturbed run produced.  Degradation may cost
+       more, it may never change the answer.
+    3. **Counter fidelity** -- when no degradation actually fired (no
+       cancellation and no grant revocation -- worker faults alone are
+       absorbed by counter-identical serial retries), the operation
+       counters must match the undisturbed run exactly.
+    """
+
+    def check_query(
+        self,
+        label: str,
+        baseline_rows: List[Any],
+        rows: Optional[List[Any]],
+        error: Optional[BaseException],
+    ) -> None:
+        """Verify one query's outcome against the undisturbed baseline."""
+        from repro.errors import GovernorError
+
+        if error is not None:
+            if not isinstance(error, GovernorError):
+                raise InvariantViolation(
+                    "typed-errors",
+                    "query %s raised untyped %s: %s"
+                    % (label, type(error).__name__, error),
+                )
+            return
+        if rows is None:
+            raise InvariantViolation(
+                "all-or-typed-error",
+                "query %s neither returned rows nor raised" % label,
+            )
+        if sorted(rows, key=repr) != sorted(baseline_rows, key=repr):
+            raise InvariantViolation(
+                "row-fidelity",
+                "query %s returned %d rows under degradation, undisturbed "
+                "run produced %d (first diffs: %s)"
+                % (
+                    label,
+                    len(rows),
+                    len(baseline_rows),
+                    _first_diffs(
+                        sorted(baseline_rows, key=repr), sorted(rows, key=repr)
+                    ),
+                ),
+            )
+
+    def check_counters(
+        self,
+        baseline_snapshot: Any,
+        snapshot: Any,
+        injector: Any,
+    ) -> None:
+        """Verify counter fidelity when the run was effectively healthy."""
+        degraded = (
+            getattr(injector, "queries_cancelled", 0)
+            or getattr(injector, "grants_revoked", 0)
+        )
+        if degraded:
+            return
+        if snapshot != baseline_snapshot:
+            raise InvariantViolation(
+                "counter-fidelity",
+                "no cancellation or revocation fired (worker faults: %d) "
+                "but the counters diverged from the undisturbed run"
+                % getattr(injector, "worker_faults_injected", 0),
+            )
+
+
 def _first_diffs(expected: List[Any], actual: List[Any], limit: int = 10):
     diffs = [
         (i, e, a)
@@ -218,4 +297,9 @@ def _first_diffs(expected: List[Any], actual: List[Any], limit: int = 10):
     return diffs[:limit]
 
 
-__all__ = ["InvariantChecker", "InvariantReport", "InvariantViolation"]
+__all__ = [
+    "DegradedRunOracle",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+]

@@ -28,6 +28,8 @@ from repro.access.hash_index import HashIndex
 from repro.access.paged_binary import PagedBinaryTree
 from repro.cost.counters import CostReport, OperationCounters
 from repro.cost.parameters import CostParameters
+from repro.governor import Governor, GovernorConfig
+from repro.join.parallel import validate_workers
 from repro.operators.selection import Comparison, Predicate, select
 from repro.planner.plan import PlanContext, PlanNode
 from repro.planner.planner import Planner, PlannerConfig
@@ -58,6 +60,7 @@ class MainMemoryDatabase:
         batch: bool = True,
         join_workers: int = 1,
         reuse_cache: bool = True,
+        governor: Optional[GovernorConfig] = None,
     ) -> None:
         self.catalog = Catalog()
         self.params = params if params is not None else CostParameters()
@@ -68,12 +71,21 @@ class MainMemoryDatabase:
         #: are identical to the tuple-at-a-time loops either way.
         self.batch = batch
         #: Worker processes for partitioned hash joins (1 = serial).
-        self.join_workers = join_workers
+        self.join_workers = validate_workers(join_workers)
         #: Materialised-subplan reuse cache (None when disabled).  DML on
         #: a table eagerly drops every cached subplan that reads it.
         self.reuse = PlanReuseCache() if reuse_cache else None
         #: Optional :class:`repro.chaos.FaultInjector` (see attach_chaos).
         self.fault_injector = None
+        #: The resource governor (docs/ROBUSTNESS.md): admission control,
+        #: per-query memory grants, cancellation, worker fault tolerance.
+        #: The default total-memory budget -- one full grant per allowed
+        #: concurrent query -- never throttles the single-query happy path.
+        config = governor or GovernorConfig()
+        if config.max_memory_pages is None:
+            config.max_memory_pages = memory_pages * config.max_concurrent
+        self.governor = Governor(config)
+        self.governor.register_shrinkable(self.reuse)
         self._planner = Planner(
             self.catalog,
             PlannerConfig(memory_pages=memory_pages, params=self.params),
@@ -85,8 +97,11 @@ class MainMemoryDatabase:
         """Wire a :class:`repro.chaos.FaultInjector` into the facade: every
         DML statement and query execution becomes a schedulable crash
         point, so fault sweeps can interrupt bulk loads and query batches
-        mid-stream.  Returns ``self`` for chaining."""
+        mid-stream.  Also routes the injector into the governor so seeded
+        plans can cancel queries, revoke grants, and fail pool workers at
+        deterministic points.  Returns ``self`` for chaining."""
         self.fault_injector = injector
+        self.governor.attach_chaos(injector)
         return self
 
     def _chaos_point(self, label: str) -> None:
@@ -218,20 +233,39 @@ class MainMemoryDatabase:
     def explain(self, query: Query) -> str:
         return self._planner.explain(query)
 
-    def execute(self, query: Query) -> Relation:
-        """Optimize and run ``query``; counters accumulate on ``self``."""
+    def execute(self, query: Query, timeout: Optional[float] = None) -> Relation:
+        """Optimize and run ``query``; counters accumulate on ``self``.
+
+        Every execution passes through the governor: it is admitted
+        against the concurrency and memory budgets (raising typed
+        :class:`~repro.errors.AdmissionRejected` /
+        :class:`~repro.errors.QueryTimeout` errors when they cannot be
+        met), runs under a revocable memory grant and a cancellation
+        token, and releases its capacity on the way out.  ``timeout`` is
+        an optional per-query deadline in seconds; ``db.cancel(qid)``
+        from another thread aborts within one page of work.
+        """
         self._chaos_point("db execute")
         plan = self._planner.plan(query)
-        ctx = PlanContext(
-            catalog=self.catalog,
-            memory_pages=self.memory_pages,
-            params=self.params,
-            counters=self.counters,
-            batch=self.batch,
-            join_workers=self.join_workers,
-            reuse_cache=self.reuse,
-        )
-        return plan.execute(ctx)
+        handle = self.governor.admit(self.memory_pages, timeout=timeout)
+        try:
+            ctx = PlanContext(
+                catalog=self.catalog,
+                memory_pages=self.memory_pages,
+                params=self.params,
+                counters=self.counters,
+                batch=self.batch,
+                join_workers=self.join_workers,
+                reuse_cache=self.reuse,
+                guard=handle.guard,
+            )
+            return plan.execute(ctx)
+        finally:
+            self.governor.release(handle)
+
+    def cancel(self, qid: int) -> bool:
+        """Cancel a running query by id; True if it was active."""
+        return self.governor.cancel(qid)
 
     # -- SQL front end --------------------------------------------------------------------
 
@@ -258,10 +292,20 @@ class MainMemoryDatabase:
         self.counters.reset()
 
     def reuse_stats(self) -> Dict[str, int]:
-        """Hit/miss/invalidation counts of the subplan reuse cache."""
+        """Hit/miss/invalidation/eviction counts of the reuse cache."""
         if self.reuse is None:
-            return {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+            return {
+                "entries": 0,
+                "hits": 0,
+                "misses": 0,
+                "invalidations": 0,
+                "evictions": 0,
+            }
         return self.reuse.stats()
+
+    def governor_stats(self) -> Dict[str, Any]:
+        """Admission/cancellation/breaker counts from the governor."""
+        return self.governor.stats()
 
     def analyze(self, table: Optional[str] = None) -> None:
         """Refresh optimizer statistics (all tables when ``table`` is

@@ -1,0 +1,95 @@
+"""The shared typed-error taxonomy.
+
+Every error the library raises on purpose descends from :class:`ReproError`,
+so callers can catch "something this database detected and refused" with a
+single except clause while still distinguishing the families:
+
+* :class:`ConfigurationError` -- an invalid knob (negative worker count,
+  zero-entry cache) caught at construction time.
+* :class:`PlannerError` -- the optimizer cannot produce a plan for the
+  query as posed (disconnected join graph, no feasible algorithm at the
+  current memory grant, ambiguous column names).
+* :class:`GovernorError` -- the resource governor's query-lifecycle
+  errors: :class:`AdmissionRejected`, :class:`QueryTimeout`,
+  :class:`QueryCancelled`, and :class:`WorkerPoolError`.
+* :class:`repro.recovery.restart.RecoveryError` -- structurally
+  inconsistent durable state found during restart recovery.
+
+Several subclasses *also* inherit a builtin (``ValueError`` for the
+planner and configuration families, ``RuntimeError`` for recovery) so
+pre-taxonomy callers that caught builtins keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(Exception):
+    """Base class for every typed error the reproduction raises."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value (rejected at construction time)."""
+
+
+class PlannerError(ReproError, ValueError):
+    """The optimizer cannot plan the query as posed."""
+
+
+class UnplannableQueryError(PlannerError):
+    """No feasible plan exists (disconnected graph, no viable algorithm)."""
+
+
+class GovernorError(ReproError):
+    """Base class for resource-governor query-lifecycle errors."""
+
+    def __init__(self, message: str, qid: Optional[int] = None) -> None:
+        super().__init__(message)
+        #: Query id the error belongs to (None outside a query lifecycle).
+        self.qid = qid
+
+
+class AdmissionRejected(GovernorError):
+    """The governor refused to admit the query (budget or queue full).
+
+    ``reason`` is one of ``"queue-full"``, ``"memory"``, or
+    ``"concurrency"`` so callers and tests can tell the rejection paths
+    apart without parsing the message.
+    """
+
+    def __init__(
+        self, message: str, qid: Optional[int] = None, reason: str = "queue-full"
+    ) -> None:
+        super().__init__(message, qid)
+        self.reason = reason
+
+
+class QueryTimeout(GovernorError):
+    """The query exceeded its deadline (admission wait or execution)."""
+
+
+class QueryCancelled(GovernorError):
+    """The query was cancelled via ``db.cancel(qid)`` / token.cancel()."""
+
+
+class WorkerPoolError(GovernorError):
+    """A worker-pool failure that could not be recovered serially.
+
+    The executor retries failed buckets serially, so this surfaces only
+    when even the serial retry raised; it exists to keep worker failures
+    inside the typed taxonomy instead of leaking pool internals.
+    """
+
+
+__all__ = [
+    "AdmissionRejected",
+    "ConfigurationError",
+    "GovernorError",
+    "PlannerError",
+    "QueryCancelled",
+    "QueryTimeout",
+    "ReproError",
+    "UnplannableQueryError",
+    "WorkerPoolError",
+]

@@ -1,0 +1,64 @@
+"""Circuit breaker for the parallel join worker pool.
+
+Worker failures (crashed or hung processes in GRACE/hybrid phase 2) are
+individually recoverable -- the coordinator retries the affected buckets
+serially with identical results and counters -- but *repeated* failures
+mean the pool itself is unhealthy (fork bombs itself, cgroup OOM-kills,
+a wedged libc lock), and the right move is to stop paying the retry tax:
+the breaker **trips to workers=1** and every subsequent join in the
+session runs serially until :meth:`CircuitBreaker.reset`.
+
+The breaker is deliberately sticky (no half-open probing): worker pools
+here are an optimisation, serial execution is always correct, and a
+deterministic system under test is worth more than an adaptive one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class CircuitBreaker:
+    """Counts worker failures; trips parallel execution off."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        #: Failures (worker kill/hang/garbled result) before tripping.
+        self.threshold = threshold
+        self.failures = 0
+        self.serial_retries = 0
+        self.tripped = False
+
+    def allows_parallel(self) -> bool:
+        return not self.tripped
+
+    def record_failure(self) -> bool:
+        """Count one worker failure; returns True if the breaker tripped."""
+        self.failures += 1
+        self.serial_retries += 1
+        if self.failures >= self.threshold:
+            self.tripped = True
+        return self.tripped
+
+    def reset(self) -> None:
+        self.failures = 0
+        self.tripped = False
+
+    def stats(self) -> dict:
+        return {
+            "failures": self.failures,
+            "serial_retries": self.serial_retries,
+            "tripped": self.tripped,
+            "threshold": self.threshold,
+        }
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(%d/%d failures%s)" % (
+            self.failures,
+            self.threshold,
+            ", TRIPPED" if self.tripped else "",
+        )
+
+
+__all__ = ["CircuitBreaker"]

@@ -1,0 +1,300 @@
+"""Admission control and the query registry.
+
+The governor guards two budgets -- concurrent queries and total granted
+memory pages -- behind a bounded wait queue:
+
+* A request that fits both budgets is admitted immediately and receives a
+  :class:`QueryHandle` (qid + :class:`~repro.governor.guard.QueryGuard`).
+* A request that does not fit waits on the queue for capacity, up to the
+  admission timeout; a full queue rejects immediately.  Both failure
+  modes are **typed**: :class:`~repro.errors.AdmissionRejected` (with a
+  machine-readable ``reason``) and :class:`~repro.errors.QueryTimeout`.
+* Before queueing a memory-blocked request, the governor applies
+  **memory pressure** to its registered shrinkable consumers (the plan
+  reuse cache), evicting LRU entries -- degrade the caches before
+  degrading the queries.
+
+Admission is thread-safe: the facade's ``execute`` runs on the caller's
+thread, so concurrent callers genuinely contend here.  In the common
+single-threaded use the fast path is one lock acquisition per query.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AdmissionRejected, ConfigurationError, QueryTimeout
+from repro.governor.breaker import CircuitBreaker
+from repro.governor.cancellation import CancellationToken
+from repro.governor.grant import MemoryGrant
+from repro.governor.guard import QueryGuard
+
+
+@dataclass
+class GovernorConfig:
+    """The governor's budgets and timeouts."""
+
+    #: Queries running at once; further requests queue.
+    max_concurrent: int = 8
+    #: Total pages grantable across running queries (None: unlimited --
+    #: the facade defaults it to ``memory_pages * max_concurrent`` so the
+    #: single-query happy path is never throttled).
+    max_memory_pages: Optional[int] = None
+    #: Requests allowed to wait for capacity; more reject immediately.
+    max_queue: int = 16
+    #: Seconds a queued request may wait before raising QueryTimeout.
+    admission_timeout: float = 10.0
+    #: Default per-query execution deadline (None = no deadline).
+    default_timeout: Optional[float] = None
+    #: Seconds before a parallel bucket job's worker counts as failed.
+    worker_timeout: float = 60.0
+    #: Worker failures before the circuit breaker trips to workers=1.
+    breaker_threshold: int = 3
+    #: Fraction of a shrinkable consumer's entries kept under pressure.
+    pressure_keep: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ConfigurationError(
+                "max_concurrent must be >= 1, got %r" % (self.max_concurrent,)
+            )
+        if self.max_queue < 0:
+            raise ConfigurationError(
+                "max_queue cannot be negative, got %r" % (self.max_queue,)
+            )
+        if not 0.0 <= self.pressure_keep <= 1.0:
+            raise ConfigurationError(
+                "pressure_keep must be in [0, 1], got %r" % (self.pressure_keep,)
+            )
+
+
+@dataclass
+class QueryHandle:
+    """One admitted query: its id, guard, and accounting."""
+
+    qid: int
+    guard: QueryGuard
+    pages: int
+    admitted_at: float
+
+    @property
+    def token(self) -> CancellationToken:
+        return self.guard.token
+
+    @property
+    def grant(self) -> Optional[MemoryGrant]:
+        return self.guard.grant
+
+
+class Governor:
+    """Admission control, the query registry, and session-wide breakers."""
+
+    def __init__(self, config: Optional[GovernorConfig] = None) -> None:
+        self.config = config or GovernorConfig()
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        self._lock = threading.Lock()
+        self._capacity = threading.Condition(self._lock)
+        self._qids = itertools.count(1)
+        self._active: Dict[int, QueryHandle] = {}
+        self._pages_in_use = 0
+        self._waiting = 0
+        #: Consumers with a ``shrink_to(n)`` method and ``__len__`` (the
+        #: plan reuse cache) evicted under memory pressure.
+        self._shrinkables: List[Any] = []
+        self._injector: Optional[Any] = None
+        # Session statistics.
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.rejected_memory = 0
+        self.admission_timeouts = 0
+        self.cancelled = 0
+        self.peak_concurrent = 0
+        self.pressure_evictions = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach_chaos(self, injector: Any) -> "Governor":
+        """Route every token checkpoint through the fault injector's
+        executor seam, so seeded plans can cancel queries and revoke
+        grants at deterministic page boundaries."""
+        self._injector = injector
+        return self
+
+    def register_shrinkable(self, consumer: Any) -> None:
+        """Register a cache with ``shrink_to(n)`` for pressure eviction."""
+        if consumer is not None and consumer not in self._shrinkables:
+            self._shrinkables.append(consumer)
+
+    # -- admission ---------------------------------------------------------------
+
+    def _fits(self, pages: int) -> bool:
+        if len(self._active) >= self.config.max_concurrent:
+            return False
+        budget = self.config.max_memory_pages
+        return budget is None or self._pages_in_use + pages <= budget
+
+    def admit(
+        self,
+        pages: int,
+        qid: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryHandle:
+        """Admit a query needing ``pages``; block (bounded) for capacity.
+
+        Raises :class:`AdmissionRejected` when the request can never fit
+        or the wait queue is full, :class:`QueryTimeout` when capacity did
+        not free up within the admission timeout.
+        """
+        cfg = self.config
+        with self._capacity:
+            if qid is None:
+                qid = next(self._qids)
+            budget = cfg.max_memory_pages
+            if budget is not None and pages > budget:
+                self.rejected_memory += 1
+                raise AdmissionRejected(
+                    "query %d needs %d pages but the governor's total "
+                    "budget is %d" % (qid, pages, budget),
+                    qid=qid,
+                    reason="memory",
+                )
+            if not self._fits(pages):
+                # Shed cache weight before shedding queries.
+                self._apply_pressure_locked()
+            if not self._fits(pages):
+                if self._waiting >= cfg.max_queue:
+                    self.rejected_queue_full += 1
+                    raise AdmissionRejected(
+                        "admission queue full (%d waiting) for query %d"
+                        % (self._waiting, qid),
+                        qid=qid,
+                        reason="queue-full",
+                    )
+                self._waiting += 1
+                deadline = time.monotonic() + cfg.admission_timeout
+                try:
+                    while not self._fits(pages):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._capacity.wait(remaining):
+                            if not self._fits(pages):
+                                self.admission_timeouts += 1
+                                raise QueryTimeout(
+                                    "query %d waited %.3gs for admission "
+                                    "without capacity freeing up"
+                                    % (qid, cfg.admission_timeout),
+                                    qid=qid,
+                                )
+                finally:
+                    self._waiting -= 1
+            return self._admit_locked(qid, pages, timeout)
+
+    def _admit_locked(
+        self, qid: int, pages: int, timeout: Optional[float]
+    ) -> QueryHandle:
+        token = CancellationToken(
+            qid=qid,
+            timeout=timeout if timeout is not None else self.config.default_timeout,
+        )
+        grant = MemoryGrant(max(2, pages), qid=qid)
+        guard = QueryGuard(
+            token=token,
+            grant=grant,
+            breaker=self.breaker,
+            injector=self._injector,
+            worker_timeout=self.config.worker_timeout,
+        )
+        if self._injector is not None:
+            seam = getattr(self._injector, "executor_page", None)
+            if seam is not None:
+                token.on_check = lambda tok, g=grant: seam(tok, g)
+        handle = QueryHandle(
+            qid=qid, guard=guard, pages=pages, admitted_at=time.monotonic()
+        )
+        self._active[qid] = handle
+        self._pages_in_use += pages
+        self.admitted += 1
+        self.peak_concurrent = max(self.peak_concurrent, len(self._active))
+        return handle
+
+    def release(self, handle: QueryHandle) -> None:
+        """Return an admitted query's capacity and wake queued requests."""
+        with self._capacity:
+            if self._active.pop(handle.qid, None) is not None:
+                self._pages_in_use -= handle.pages
+                self._capacity.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def cancel(self, qid: int) -> bool:
+        """Cancel a running query; True if it was active."""
+        with self._lock:
+            handle = self._active.get(qid)
+            if handle is None:
+                return False
+            handle.token.cancel()
+            self.cancelled += 1
+            return True
+
+    def cancel_all(self) -> int:
+        with self._lock:
+            for handle in self._active.values():
+                handle.token.cancel()
+            self.cancelled += len(self._active)
+            return len(self._active)
+
+    def revoke(self, qid: int, to_pages: int) -> Optional[int]:
+        """Shrink a running query's grant; returns its new page budget.
+
+        Also applies cache pressure: revocation means the system wants
+        memory back, so the shrinkable consumers give theirs up first.
+        """
+        with self._lock:
+            handle = self._active.get(qid)
+            self._apply_pressure_locked()
+            if handle is None or handle.grant is None:
+                return None
+            return handle.grant.revoke(to_pages)
+
+    def _apply_pressure_locked(self) -> None:
+        for consumer in self._shrinkables:
+            try:
+                keep = int(len(consumer) * self.config.pressure_keep)
+                self.pressure_evictions += consumer.shrink_to(keep)
+            except Exception:
+                # A misbehaving cache must not take admission down.
+                continue
+
+    # -- reporting ---------------------------------------------------------------
+
+    def active_qids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._active)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "active": len(self._active),
+                "pages_in_use": self._pages_in_use,
+                "waiting": self._waiting,
+                "admitted": self.admitted,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_memory": self.rejected_memory,
+                "admission_timeouts": self.admission_timeouts,
+                "cancelled": self.cancelled,
+                "peak_concurrent": self.peak_concurrent,
+                "pressure_evictions": self.pressure_evictions,
+                "breaker": self.breaker.stats(),
+            }
+
+    def __repr__(self) -> str:
+        return "Governor(%d active, %d pages in use)" % (
+            len(self._active),
+            self._pages_in_use,
+        )
+
+
+__all__ = ["Governor", "GovernorConfig", "QueryHandle"]

@@ -1,0 +1,83 @@
+"""Enforced per-query memory grants.
+
+The paper's Section 3 algorithms assume a fixed grant ``|M|``; under the
+governor, each query instead receives a :class:`MemoryGrant` -- a live
+page budget that memory-hungry operators consult at every structural
+decision point (hybrid hash's partition fan-out, per-bucket hash-table
+capacity) and that can **shrink mid-query** via :meth:`MemoryGrant.revoke`.
+
+Revocation is how the governor reclaims memory under pressure without
+killing queries: hybrid hash reacts by demoting its resident partition 0
+to a spill bucket pair (degrading toward pure GRACE) and by recursing on
+buckets that no longer fit, trading extra IO for staying inside the new
+budget (see docs/ROBUSTNESS.md's degradation ladder).  The grant never
+grows back within a query: a revocation is a one-way ratchet, so the
+degradation decision points only ever see a shrinking budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class MemoryGrant:
+    """A revocable page budget for one query."""
+
+    __slots__ = ("qid", "granted", "pages", "peak_pages", "revocations")
+
+    def __init__(self, pages: int, qid: Optional[int] = None) -> None:
+        if pages < 2:
+            raise ConfigurationError(
+                "a memory grant needs at least two pages, got %r" % (pages,)
+            )
+        self.qid = qid
+        #: The original grant, for reporting.
+        self.granted = int(pages)
+        #: The *current* budget; operators must fit inside this.
+        self.pages = int(pages)
+        #: High-water mark of pages operators reported in use.
+        self.peak_pages = 0.0
+        self.revocations = 0
+
+    def effective(self, requested: int) -> int:
+        """The pages an operator may actually use of ``requested``.
+
+        Never below 2: the partitioned algorithms are undefined under two
+        pages (one output buffer plus one working page), so revocation
+        floors there rather than making the query unrunnable.
+        """
+        return max(2, min(int(requested), self.pages))
+
+    def charge(self, pages: float) -> None:
+        """Report ``pages`` currently in use (high-water accounting)."""
+        if pages > self.peak_pages:
+            self.peak_pages = pages
+
+    def over_budget(self, pages: float) -> bool:
+        """Whether a structure of ``pages`` no longer fits the budget."""
+        return pages > self.pages
+
+    def revoke(self, to_pages: int) -> int:
+        """Shrink the budget to ``to_pages`` (floor 2); returns the new one.
+
+        Raising the budget is ignored -- a grant only ratchets down, so a
+        replayed fault schedule cannot un-degrade a query halfway through.
+        """
+        to_pages = max(2, int(to_pages))
+        if to_pages < self.pages:
+            self.pages = to_pages
+            self.revocations += 1
+        return self.pages
+
+    def __repr__(self) -> str:
+        return "MemoryGrant(qid=%s, %d/%d pages, peak=%.1f)" % (
+            self.qid,
+            self.pages,
+            self.granted,
+            self.peak_pages,
+        )
+
+
+__all__ = ["MemoryGrant"]

@@ -20,7 +20,6 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.join.parallel import (
-    bucket_join_task,
     join_bucket,
     make_pool,
     precomputed_classifier,
@@ -43,8 +42,10 @@ class GraceHashJoin(JoinAlgorithm):
 
     def _bucket_count(self, spec: JoinSpec) -> int:
         # The paper partitions into |M| sets; more buckets than R has
-        # pages would only create empty files.
-        return max(1, min(spec.memory_pages, spec.r.page_count))
+        # pages would only create empty files.  The governor's grant (if
+        # any) caps the grant the spec was planned with.
+        memory = self.effective_memory_pages(spec.memory_pages)
+        return max(1, min(memory, spec.r.page_count))
 
     def _execute_tuple(self, spec: JoinSpec, output: Relation) -> None:
         buckets = self._bucket_count(spec)
@@ -57,6 +58,7 @@ class GraceHashJoin(JoinAlgorithm):
             self.counters,
             file_prefix=self.scratch_name(spec, "r"),
             batch=False,
+            checkpoint=self.checkpoint,
         )
         s_files = partition_relation(
             spec.s,
@@ -66,10 +68,12 @@ class GraceHashJoin(JoinAlgorithm):
             self.counters,
             file_prefix=self.scratch_name(spec, "s"),
             batch=False,
+            checkpoint=self.checkpoint,
         )
 
         r_key, s_key = spec.r_key, spec.s_key
         for r_file, s_file in zip(r_files, s_files):
+            self.checkpoint()
             table = HashIndex(self.counters, max_load=spec.params.fudge)
             for row in read_bucket(self.disk, r_file):
                 table.insert(r_key(row), row)
@@ -88,7 +92,7 @@ class GraceHashJoin(JoinAlgorithm):
         both); workers only classify keys and build/probe bucket pairs.
         """
         buckets = self._bucket_count(spec)
-        pool = make_pool(self.workers)
+        pool = make_pool(self.pool_workers())
         try:
             classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
             classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
@@ -122,6 +126,7 @@ class GraceHashJoin(JoinAlgorithm):
                 self.counters,
                 file_prefix=self.scratch_name(spec, "r"),
                 classify=classify_r,
+                checkpoint=self.checkpoint,
             )
             s_files = partition_relation(
                 spec.s,
@@ -131,6 +136,7 @@ class GraceHashJoin(JoinAlgorithm):
                 self.counters,
                 file_prefix=self.scratch_name(spec, "s"),
                 classify=classify_s,
+                checkpoint=self.checkpoint,
             )
 
             r_index = spec.r.schema.index_of(spec.r_field)
@@ -139,6 +145,7 @@ class GraceHashJoin(JoinAlgorithm):
 
             if pool is None:
                 for r_file, s_file in zip(r_files, s_files):
+                    self.checkpoint()
                     r_rows = read_bucket(self.disk, r_file)
                     s_rows = read_bucket(self.disk, s_file)
                     self.disk.delete(r_file)
@@ -152,18 +159,17 @@ class GraceHashJoin(JoinAlgorithm):
 
             jobs: List[Tuple[List[Row], List[Row], int, int, float]] = []
             for r_file, s_file in zip(r_files, s_files):
+                self.checkpoint()
                 r_rows = read_bucket(self.disk, r_file)
                 s_rows = read_bucket(self.disk, s_file)
                 self.disk.delete(r_file)
                 self.disk.delete(s_file)
                 jobs.append((r_rows, s_rows, r_index, s_index, fudge))
-            for rows, worker_counters in pool.map(bucket_join_task, jobs):
+            for rows, worker_counters in self.run_bucket_jobs(pool, jobs):
                 self.counters.absorb(worker_counters)
                 output.extend_rows(rows)
         finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+            self.finish_pool(pool)
 
 
 __all__ = ["GraceHashJoin"]

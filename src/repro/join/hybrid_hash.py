@@ -20,13 +20,31 @@ exceed the memory grant, the bucket pair is re-joined recursively with a
 depth-salted hash, so pathological key distributions degrade gracefully
 instead of overflowing memory.
 
+Under the governor the memory grant is **live**: a mid-query revocation
+(:meth:`repro.governor.grant.MemoryGrant.revoke`) can shrink the budget the
+level was planned against.  The join reacts at the next page boundary by
+**demoting** the resident partition R0 to an *overflow spill pair* --
+dumping the live hash table to disk and routing all later class-0 tuples to
+the pair -- which degrades the level toward pure GRACE (``q`` effectively
+0) at the honest cost of the extra moves and IO.  Demotion is correct at
+any boundary: the resident table only ever grows during phase 1a, so every
+S0 tuple probed before the demotion saw *all* R0 tuples it could match
+(phase 1a completed first), and every S0 tuple after it goes to the
+overflow pair, where phase 2 joins it against the complete dumped R0.  The
+overflow pair is processed exactly like a spill bucket, including the
+recursion check against the *shrunken* capacity -- the degradation ladder
+of docs/ROBUSTNESS.md.
+
 Execution comes in three flavours with identical results and counters: the
 historical tuple-at-a-time loops (``batch=False``), the page-at-a-time
 batch path (default), and the batch path with a worker pool
 (``workers > 1``) where the coordinator keeps all disk IO in serial order
 and workers handle classification and bucket build/probe (see
 :mod:`repro.join.parallel`).  Recursive overflow buckets are always joined
-serially in the coordinator, at their in-order sequence point.
+serially in the coordinator, at their in-order sequence point.  Worker
+failures in phase 2 are absorbed by
+:meth:`~repro.join.base.JoinAlgorithm.run_bucket_jobs` (serial retry,
+identical rows and counters).
 """
 
 from __future__ import annotations
@@ -36,7 +54,6 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.join.parallel import (
-    bucket_join_task,
     hybrid_class_chunk_task,
     join_bucket,
     make_pool,
@@ -70,13 +87,70 @@ class HybridHashJoin(JoinAlgorithm):
         if not self.batch:
             self._execute_level(spec, output, depth=0)
             return
-        pool = make_pool(self.workers)
+        pool = make_pool(self.pool_workers())
         try:
             self._execute_level_batch(spec, output, depth=0, pool=pool)
         finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+            self.finish_pool(pool)
+
+    # -- grant-aware degradation -------------------------------------------------
+
+    def _bucket_capacity(self, spec: JoinSpec) -> int:
+        """Tuples a phase-2 hash table may hold under the *current* grant."""
+        if self.guard is None or self.guard.grant is None:
+            return spec.memory_tuples(spec.r.tuples_per_page)
+        pages = self.guard.effective_pages(spec.memory_pages)
+        return max(1, int(pages * spec.r.tuples_per_page / spec.params.fudge))
+
+    def _degrade_now(
+        self, memory: int, buckets: int, resident: HashIndex, spec: JoinSpec
+    ) -> bool:
+        """Whether a revoked grant can no longer hold R0's live table.
+
+        Checked at page boundaries during phase 1.  The happy path (no
+        revocation: the grant still covers the planned budget) is two
+        attribute loads and a compare; only a constrained grant pays for
+        the live footprint computation (table pages plus B output
+        buffers -- the Section 3.7 memory layout), which also feeds the
+        grant's high-water accounting.
+        """
+        guard = self.guard
+        if guard is None or guard.grant is None:
+            return False
+        grant = guard.grant
+        if grant.pages >= memory:
+            return False
+        used = spec.table_pages(len(resident), spec.r.tuples_per_page) + buckets
+        grant.charge(used)
+        return grant.over_budget(used)
+
+    def _demote_resident(
+        self, resident: HashIndex, spec: JoinSpec, depth: int
+    ) -> Tuple[SpillWriter, SpillWriter]:
+        """Dump the live R0 table to a fresh overflow spill pair.
+
+        Charges one move per dumped tuple plus the flush IO -- the honest
+        price of giving the memory back.  The caller replaces ``resident``
+        with an empty table and routes all later class-0 tuples to the
+        returned writers; phase 2 then joins the pair like any spilled
+        bucket.
+        """
+        base = self.scratch_name(spec, "ovf")
+        ovf_r = SpillWriter(
+            self.disk,
+            ["%s.d%d.r" % (base, depth)],
+            spec.r.tuples_per_page,
+            self.counters,
+        )
+        ovf_s = SpillWriter(
+            self.disk,
+            ["%s.d%d.s" % (base, depth)],
+            spec.s.tuples_per_page,
+            self.counters,
+        )
+        for _, row in resident.items():
+            ovf_r.write(0, row)
+        return ovf_r, ovf_s
 
     # -- tuple-at-a-time path ----------------------------------------------------
 
@@ -84,12 +158,16 @@ class HybridHashJoin(JoinAlgorithm):
         self, spec: JoinSpec, output: Relation, depth: int
     ) -> None:
         params = spec.params
+        memory = self.effective_memory_pages(spec.memory_pages)
         buckets, q = partition_fan_out(
-            spec.r.page_count, spec.memory_pages, params.fudge
+            spec.r.page_count, memory, params.fudge
         )
         r_key, s_key = spec.r_key, spec.s_key
 
         resident = HashIndex(self.counters, max_load=params.fudge)
+        demoted = False
+        ovf_r: Optional[SpillWriter] = None
+        ovf_s: Optional[SpillWriter] = None
 
         # ---- Phase 1a: partition R, building R0's table on the fly. ----
         r_writer = None
@@ -101,11 +179,24 @@ class HybridHashJoin(JoinAlgorithm):
             r_writer = SpillWriter(
                 self.disk, r_files, spec.r.tuples_per_page, self.counters
             )
-        for row in spec.r:
+        r_tpp = max(1, spec.r.tuples_per_page)
+        for i, row in enumerate(spec.r):
+            if i % r_tpp == 0:
+                self.checkpoint()
+                if not demoted and self._degrade_now(
+                    memory, buckets, resident, spec
+                ):
+                    ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                    resident = HashIndex(self.counters, max_load=params.fudge)
+                    demoted = True
             cls = self._classify(r_key(row), q, buckets, depth)
             if cls == 0:
-                # insert() charges the hash and the move into the table.
-                resident.insert(r_key(row), row)
+                if demoted:
+                    self.counters.hash_key()
+                    ovf_r.write(0, row)
+                else:
+                    # insert() charges the hash and the move into the table.
+                    resident.insert(r_key(row), row)
             else:
                 self.counters.hash_key()
                 r_writer.write(cls - 1, row)
@@ -120,23 +211,40 @@ class HybridHashJoin(JoinAlgorithm):
             s_writer = SpillWriter(
                 self.disk, s_files, spec.s.tuples_per_page, self.counters
             )
-        for row in spec.s:
+        s_tpp = max(1, spec.s.tuples_per_page)
+        for i, row in enumerate(spec.s):
+            if i % s_tpp == 0:
+                self.checkpoint()
+                if not demoted and self._degrade_now(
+                    memory, buckets, resident, spec
+                ):
+                    ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                    resident = HashIndex(self.counters, max_load=params.fudge)
+                    demoted = True
             cls = self._classify(s_key(row), q, buckets, depth)
             if cls == 0:
-                for r_row in resident.probe(s_key(row)):
-                    self.emit(output, r_row, row)
+                if demoted:
+                    self.counters.hash_key()
+                    ovf_s.write(0, row)
+                else:
+                    for r_row in resident.probe(s_key(row)):
+                        self.emit(output, r_row, row)
             else:
                 self.counters.hash_key()
                 s_writer.write(cls - 1, row)
 
-        if buckets == 0:
+        r_files = r_writer.close() if r_writer is not None else []
+        s_files = s_writer.close() if s_writer is not None else []
+        if demoted:
+            r_files = r_files + ovf_r.close()
+            s_files = s_files + ovf_s.close()
+        if not r_files:
             return
-        r_files = r_writer.close()
-        s_files = s_writer.close()
 
         # ---- Phase 2: join the spilled bucket pairs. ----
-        bucket_capacity = spec.memory_tuples(spec.r.tuples_per_page)
+        bucket_capacity = self._bucket_capacity(spec)
         for r_file, s_file in zip(r_files, s_files):
+            self.checkpoint()
             r_rows = read_bucket(self.disk, r_file)
             s_rows = read_bucket(self.disk, s_file)
             self.disk.delete(r_file)
@@ -171,12 +279,16 @@ class HybridHashJoin(JoinAlgorithm):
         pool: Optional[Any],
     ) -> None:
         params = spec.params
+        memory = self.effective_memory_pages(spec.memory_pages)
         buckets, q = partition_fan_out(
-            spec.r.page_count, spec.memory_pages, params.fudge
+            spec.r.page_count, memory, params.fudge
         )
         r_key, s_key = spec.r_key, spec.s_key
 
         resident = HashIndex(self.counters, max_load=params.fudge)
+        demoted = False
+        ovf_r: Optional[SpillWriter] = None
+        ovf_s: Optional[SpillWriter] = None
 
         classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
         classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
@@ -213,6 +325,11 @@ class HybridHashJoin(JoinAlgorithm):
                 self.disk, r_files, spec.r.tuples_per_page, self.counters
             )
         for page in spec.r.pages:
+            self.checkpoint()
+            if not demoted and self._degrade_now(memory, buckets, resident, spec):
+                ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                resident = HashIndex(self.counters, max_load=params.fudge)
+                demoted = True
             rows = page.tuples
             if not rows:
                 continue
@@ -231,7 +348,12 @@ class HybridHashJoin(JoinAlgorithm):
                 else:
                     pending[cls - 1].append(row)
                     spilled += 1
-            resident.insert_batch(to_insert)
+            if demoted:
+                if to_insert:
+                    self.counters.hash_key(len(to_insert))
+                    ovf_r.write_many(0, [row for _, row in to_insert])
+            else:
+                resident.insert_batch(to_insert)
             if spilled:
                 self.counters.hash_key(spilled)
                 for b, bucket_rows in enumerate(pending):
@@ -248,6 +370,11 @@ class HybridHashJoin(JoinAlgorithm):
                 self.disk, s_files, spec.s.tuples_per_page, self.counters
             )
         for page in spec.s.pages:
+            self.checkpoint()
+            if not demoted and self._degrade_now(memory, buckets, resident, spec):
+                ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                resident = HashIndex(self.counters, max_load=params.fudge)
+                demoted = True
             rows = page.tuples
             if not rows:
                 continue
@@ -268,32 +395,43 @@ class HybridHashJoin(JoinAlgorithm):
                 else:
                     pending[cls - 1].append(row)
                     spilled += 1
-            matched: List[Row] = []
-            for chain, s_row in zip(resident.probe_batch(probe_keys), probe_rows):
-                if chain:
-                    matched.extend(r_row + s_row for r_row in chain)
-            output.extend_rows(matched)
+            if demoted:
+                if probe_rows:
+                    self.counters.hash_key(len(probe_rows))
+                    ovf_s.write_many(0, probe_rows)
+            else:
+                matched: List[Row] = []
+                for chain, s_row in zip(
+                    resident.probe_batch(probe_keys), probe_rows
+                ):
+                    if chain:
+                        matched.extend(r_row + s_row for r_row in chain)
+                output.extend_rows(matched)
             if spilled:
                 self.counters.hash_key(spilled)
                 for b, bucket_rows in enumerate(pending):
                     s_writer.write_many(b, bucket_rows)
 
-        if buckets == 0:
+        r_files = r_writer.close() if r_writer is not None else []
+        s_files = s_writer.close() if s_writer is not None else []
+        if demoted:
+            r_files = r_files + ovf_r.close()
+            s_files = s_files + ovf_s.close()
+        if not r_files:
             return
-        r_files = r_writer.close()
-        s_files = s_writer.close()
 
         # ---- Phase 2: join the spilled bucket pairs. ----
         # The coordinator reads and deletes every bucket in serial order;
         # recursion runs inline (it performs IO at its sequence point),
         # while plain bucket pairs either join serially or go to the pool.
-        bucket_capacity = spec.memory_tuples(spec.r.tuples_per_page)
+        bucket_capacity = self._bucket_capacity(spec)
         r_index = spec.r.schema.index_of(spec.r_field)
         s_index = spec.s.schema.index_of(spec.s_field)
         fudge = params.fudge
 
         entries: List[Tuple[str, Any]] = []
         for r_file, s_file in zip(r_files, s_files):
+            self.checkpoint()
             r_rows = read_bucket(self.disk, r_file)
             s_rows = read_bucket(self.disk, s_file)
             self.disk.delete(r_file)
@@ -333,8 +471,8 @@ class HybridHashJoin(JoinAlgorithm):
 
         if pool is not None:
             results = iter(
-                pool.map(
-                    bucket_join_task,
+                self.run_bucket_jobs(
+                    pool,
                     [payload for kind, payload in entries if kind == "job"],
                 )
             )
@@ -359,7 +497,9 @@ class HybridHashJoin(JoinAlgorithm):
         """Re-join one overflowing bucket pair one level deeper.
 
         Always serial: recursion is rare (skew overflow only) and its IO
-        must stay at the coordinator's in-order sequence point.
+        must stay at the coordinator's in-order sequence point.  The
+        sub-level plans against the *current* effective grant, so a
+        revoked budget keeps shrinking the recursive fan-outs.
         """
         sub_r = Relation(
             "%s~%d" % (spec.r.name, depth + 1), spec.r.schema, spec.r.page_bytes
@@ -374,7 +514,7 @@ class HybridHashJoin(JoinAlgorithm):
             s=sub_s,
             r_field=spec.r_field,
             s_field=spec.s_field,
-            memory_pages=spec.memory_pages,
+            memory_pages=self.effective_memory_pages(spec.memory_pages),
             params=spec.params,
         )
         # The sub-spec may have swapped sides if the bucket's S slice is

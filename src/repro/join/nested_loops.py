@@ -32,12 +32,16 @@ class NestedLoopsJoin(JoinAlgorithm):
         block: List[Row] = []
         first_block = True
 
+        s_tpp = max(1, spec.s.tuples_per_page)
+
         def scan_s_against(block_rows: List[Row], reread: bool) -> None:
             if reread:
                 # S no longer resident: every block after the first rereads
                 # S from disk (|S| sequential IOs).
                 self.counters.io_sequential(spec.s.page_count)
-            for s_row in spec.s:
+            for i, s_row in enumerate(spec.s):
+                if i % s_tpp == 0:
+                    self.checkpoint()
                 sk = s_key(s_row)
                 for r_row in block_rows:
                     self.counters.compare()
@@ -66,6 +70,7 @@ class NestedLoopsJoin(JoinAlgorithm):
             keyed = [(r_key(row), row) for row in block_rows]
             per_s = len(block_rows)
             for page in s_pages:
+                self.checkpoint()
                 rows = page.tuples
                 self.counters.compare(per_s * len(rows))
                 matched: List[Row] = []
@@ -79,6 +84,7 @@ class NestedLoopsJoin(JoinAlgorithm):
         block: List[Row] = []
         first_block = True
         for page in spec.r.pages:
+            self.checkpoint()
             rows = page.tuples
             self.counters.move_tuple(len(rows))
             pos = 0

@@ -26,12 +26,50 @@ from __future__ import annotations
 
 import multiprocessing
 import operator
+import os
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.access.hash_index import HashIndex
 from repro.cost.counters import OperationCounters
+from repro.errors import ConfigurationError
 from repro.join.partition import hybrid_class, partition_hash
 from repro.storage.relation import Row
+
+#: First element of every healthy guarded-task result.  A worker that was
+#: killed never returns; a hung worker times out; a *garbled* worker
+#: returns a payload without this sentinel, which the coordinator treats
+#: exactly like a crash (discard and retry the bucket serially).
+OK_SENTINEL = "ok"
+
+
+def validate_workers(workers: Any) -> int:
+    """Normalise a worker count: coerce integral floats, reject garbage.
+
+    ``0`` and ``1`` both mean serial execution.  Negative counts, booleans,
+    non-integral floats, and non-numbers raise
+    :class:`~repro.errors.ConfigurationError` instead of being silently
+    clamped -- a negative worker count is a caller bug, not a preference.
+    """
+    if isinstance(workers, bool):
+        raise ConfigurationError(
+            "workers must be an integer count, got the boolean %r" % (workers,)
+        )
+    if isinstance(workers, float):
+        if not workers.is_integer():
+            raise ConfigurationError(
+                "workers must be a whole number, got %r" % (workers,)
+            )
+        workers = int(workers)
+    if not isinstance(workers, int):
+        raise ConfigurationError(
+            "workers must be an integer count, got %r" % (workers,)
+        )
+    if workers < 0:
+        raise ConfigurationError(
+            "workers cannot be negative, got %d" % workers
+        )
+    return max(1, workers)
 
 
 def make_pool(workers: int) -> Optional[Any]:
@@ -39,8 +77,10 @@ def make_pool(workers: int) -> Optional[Any]:
 
     Returns ``None`` when ``workers <= 1`` or when the platform has no
     ``fork`` start method (consistent hashing across processes requires
-    inheriting the parent's hash seed).
+    inheriting the parent's hash seed).  Invalid counts raise
+    :class:`~repro.errors.ConfigurationError` via :func:`validate_workers`.
     """
+    workers = validate_workers(workers)
     if workers <= 1:
         return None
     try:
@@ -86,6 +126,37 @@ def bucket_join_task(
     return rows, counters
 
 
+def guarded_bucket_join_task(
+    args: Tuple[Tuple[Sequence[Row], Sequence[Row], int, int, float], Optional[str]],
+) -> Tuple[Any, ...]:
+    """Pool task wrapping :func:`bucket_join_task` with an integrity sentinel.
+
+    ``args`` is the plain bucket payload plus a chaos directive for this
+    worker (``None`` or one of :data:`repro.chaos.WORKER_FAULT_KINDS`):
+
+    * ``kill``   -- the worker process exits hard, mid-job, without
+      cleanup (``os._exit``), the way an OOM-kill or segfault would land;
+    * ``hang``   -- the worker sleeps past any sane timeout, simulating a
+      wedged process the coordinator must give up on;
+    * ``garble`` -- the worker returns a payload missing the
+      :data:`OK_SENTINEL`, simulating a corrupted result.
+
+    Healthy jobs return ``(OK_SENTINEL, rows, counters)``; the coordinator
+    (:meth:`repro.join.base.JoinAlgorithm.run_bucket_jobs`) treats any
+    other shape -- or no result at all -- as a worker failure and retries
+    the bucket serially.
+    """
+    payload, fault = args
+    if fault == "kill":
+        os._exit(17)
+    if fault == "hang":
+        time.sleep(3600.0)
+    rows, counters = bucket_join_task(payload)
+    if fault == "garble":
+        return ("garbled-result",)
+    return (OK_SENTINEL, rows, counters)
+
+
 def residue_chunk_task(args: Tuple[Sequence[Any], int]) -> List[int]:
     """Pool task: GRACE residues ``partition_hash(key) % classes``."""
     keys, total_classes = args
@@ -120,10 +191,13 @@ def precomputed_classifier(
 
 
 __all__ = [
+    "OK_SENTINEL",
     "bucket_join_task",
+    "guarded_bucket_join_task",
     "hybrid_class_chunk_task",
     "join_bucket",
     "make_pool",
     "precomputed_classifier",
     "residue_chunk_task",
+    "validate_workers",
 ]

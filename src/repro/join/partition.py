@@ -151,6 +151,7 @@ def partition_relation(
     on_resident: Optional[Callable[[Any, Row], None]] = None,
     batch: bool = True,
     classify: Optional[Callable[[Sequence[Any]], List[int]]] = None,
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> List[str]:
     """Partition ``relation`` into ``buckets`` spill files by hash.
 
@@ -169,6 +170,10 @@ def partition_relation(
     residue computation for a whole page of keys (the parallel partition
     phase plugs worker-computed residues in here); it must return
     ``partition_hash(key) % (buckets + resident)`` per key.
+
+    ``checkpoint`` (the governor's cooperative cancellation hook) is
+    called once per input page in both execution modes, so a cancelled or
+    timed-out query stops partitioning within one page of work.
     """
     if buckets < 0:
         raise ValueError("bucket count cannot be negative")
@@ -183,6 +188,8 @@ def partition_relation(
 
     if batch:
         for page in relation.pages:
+            if checkpoint is not None:
+                checkpoint()
             rows = page.tuples
             if not rows:
                 continue
@@ -213,7 +220,10 @@ def partition_relation(
                 writer.write_many(b, bucket_rows)
         return writer.close() if writer is not None else []
 
-    for row in relation:
+    tpp = max(1, relation.tuples_per_page)
+    for i, row in enumerate(relation):
+        if checkpoint is not None and i % tpp == 0:
+            checkpoint()
         counters.hash_key()
         residue = partition_hash(key(row)) % total_classes
         if resident_bucket and residue == 0:

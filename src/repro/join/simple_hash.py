@@ -42,12 +42,16 @@ class SimpleHashJoin(JoinAlgorithm):
         r_rows: List[Row] = list(spec.r)
         s_rows: List[Row] = list(spec.s)
 
+        r_tpp = max(1, spec.r.tuples_per_page)
+        s_tpp = max(1, spec.s.tuples_per_page)
         for current in range(passes):
             table = HashIndex(self.counters, max_load=params.fudge)
             self.counters.hash_key(len(r_rows))
             passed_r: List[Row] = []
             to_insert: List[Tuple[Any, Row]] = []
-            for row in r_rows:
+            for i, row in enumerate(r_rows):
+                if i % r_tpp == 0:
+                    self.checkpoint()
                 k = r_key(row)
                 if partition_hash(k) % passes == current:
                     to_insert.append((k, row))
@@ -59,7 +63,9 @@ class SimpleHashJoin(JoinAlgorithm):
             passed_s: List[Row] = []
             probe_keys: List[Any] = []
             probe_rows: List[Row] = []
-            for row in s_rows:
+            for i, row in enumerate(s_rows):
+                if i % s_tpp == 0:
+                    self.checkpoint()
                 k = s_key(row)
                 if partition_hash(k) % passes == current:
                     probe_keys.append(k)
@@ -95,17 +101,23 @@ class SimpleHashJoin(JoinAlgorithm):
         r_rows: List[Row] = list(spec.r)
         s_rows: List[Row] = list(spec.s)
 
+        r_tpp = max(1, spec.r.tuples_per_page)
+        s_tpp = max(1, spec.s.tuples_per_page)
         for current in range(passes):
             table = HashIndex(self.counters, max_load=params.fudge)
             passed_r: List[Row] = []
-            for row in r_rows:
+            for i, row in enumerate(r_rows):
+                if i % r_tpp == 0:
+                    self.checkpoint()
                 self.counters.hash_key()
                 if partition_hash(r_key(row)) % passes == current:
                     table.insert(r_key(row), row)
                 else:
                     passed_r.append(row)
             passed_s: List[Row] = []
-            for row in s_rows:
+            for i, row in enumerate(s_rows):
+                if i % s_tpp == 0:
+                    self.checkpoint()
                 self.counters.hash_key()
                 if partition_hash(s_key(row)) % passes == current:
                     for r_row in table.probe(s_key(row)):

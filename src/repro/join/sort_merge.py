@@ -126,6 +126,7 @@ class SortMergeJoin(JoinAlgorithm):
             nonlocal page_index
             if not run_buffer:
                 return
+            self.checkpoint()
             page = Page(page_index, tuples_per_page)
             page.extend_rows(run_buffer)
             assert run_name is not None
@@ -182,7 +183,11 @@ class SortMergeJoin(JoinAlgorithm):
                 k, row = item
                 self.charge_heap_op(len(heap) + 1)
                 heapq.heappush(heap, (k, source, idx, row, 0))
+        emitted = 0
         while heap:
+            if emitted % 256 == 0:
+                self.checkpoint()
+            emitted += 1
             k, source, idx, row, _ = heapq.heappop(heap)
             yield k, source, row
             item = cursors[idx][1].next()
@@ -298,6 +303,7 @@ class SortMergeJoin(JoinAlgorithm):
         self, merged: Sequence[Tuple[Any, int, Row]], output: Relation
     ) -> None:
         """Group a materialised sorted stream and cross-match in bulk."""
+        self.checkpoint()
         self.counters.compare(len(merged))  # one merge comparison per tuple
         matched: List[Row] = []
         i, n = 0, len(merged)

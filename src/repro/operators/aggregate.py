@@ -143,6 +143,7 @@ def hash_aggregate(
     disk: Optional[SimulatedDisk] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    token: Optional[Any] = None,
     _depth: int = 0,
 ) -> Relation:
     """One-pass hash aggregation with hybrid-hash overflow.
@@ -158,6 +159,9 @@ def hash_aggregate(
     The default ``batch`` path walks pages with a hoisted key extractor
     and charges the hash/compare counters in page-sized bulk; spill order,
     results, and counter totals are identical to ``batch=False``.
+
+    ``token`` is a :class:`repro.governor.CancellationToken` checked once
+    per page of input (and through every overflow recursion level).
     """
     counters = counters if counters is not None else OperationCounters()
     out_schema = _output_schema(relation.schema, group_by, aggregates)
@@ -197,6 +201,8 @@ def hash_aggregate(
         keyfn = tuple_projector(group_indexes)
         get = groups.get
         for page in relation.pages:
+            if token is not None:
+                token.check()
             rows = page.tuples
             counters.hash_key(len(rows))
             counters.compare(len(rows))
@@ -214,7 +220,10 @@ def hash_aggregate(
                 for acc, idx in zip(accs, agg_indexes):
                     acc.update(row[idx] if idx is not None else 1)
     else:
-        for row in relation:
+        tpp = max(1, relation.tuples_per_page)
+        for n, row in enumerate(relation):
+            if token is not None and n % tpp == 0:
+                token.check()
             key = tuple(row[i] for i in group_indexes)
             counters.hash_key()
             counters.compare()
@@ -250,6 +259,7 @@ def hash_aggregate(
                 fudge=fudge,
                 disk=disk,
                 batch=batch,
+                token=token,
                 _depth=_depth + 1,
             )
             for page in partial.pages:
@@ -264,6 +274,7 @@ def sort_aggregate(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    token: Optional[Any] = None,
 ) -> Relation:
     """Sort-based baseline: heap-sort on the grouping key, fold neighbours.
 
@@ -292,6 +303,8 @@ def sort_aggregate(
         keyfn = tuple_projector(group_indexes)
         pairs: List[Tuple[Tuple[Any, ...], Row]] = []
         for page in relation.pages:
+            if token is not None:
+                token.check()
             pairs.extend((keyfn(row), row) for row in page.tuples)
         charges = heap_push_charges(len(pairs))
         counters.compare(charges)
@@ -303,7 +316,10 @@ def sort_aggregate(
     else:
         heap: List[Tuple[Tuple[Any, ...], int, Row]] = []
         seq = itertools.count()
-        for row in relation:
+        tpp = max(1, relation.tuples_per_page)
+        for n, row in enumerate(relation):
+            if token is not None and n % tpp == 0:
+                token.check()
             levels = max(1, math.ceil(math.log2(len(heap) + 2)))
             counters.compare(levels)
             counters.swap_tuples(levels)

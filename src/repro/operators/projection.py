@@ -9,7 +9,7 @@ no aggregates, inheriting the same one-pass / hybrid-overflow behaviour.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.cost.counters import OperationCounters
 from repro.operators.aggregate import hash_aggregate, sort_aggregate
@@ -24,6 +24,7 @@ def _plain_project(
     counters: OperationCounters,
     output_name: Optional[str],
     batch: bool = True,
+    token: Optional[Any] = None,
 ) -> Relation:
     out = Relation(
         output_name or ("project(%s)" % relation.name),
@@ -34,11 +35,16 @@ def _plain_project(
     if batch:
         getter = tuple_projector(indexes)
         for page in relation.pages:
+            if token is not None:
+                token.check()
             rows = page.tuples
             counters.move_tuple(len(rows))
             out.extend_rows([getter(row) for row in rows])
         return out
-    for row in relation:
+    tpp = max(1, relation.tuples_per_page)
+    for n, row in enumerate(relation):
+        if token is not None and n % tpp == 0:
+            token.check()
         counters.move_tuple()
         out.insert_unchecked(tuple(row[i] for i in indexes))
     return out
@@ -54,11 +60,14 @@ def hash_project(
     disk: Optional[SimulatedDisk] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    token: Optional[Any] = None,
 ) -> Relation:
     """Project onto ``columns``; hash-deduplicate when ``distinct``."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
-        return _plain_project(relation, columns, counters, output_name, batch)
+        return _plain_project(
+            relation, columns, counters, output_name, batch, token=token
+        )
     return hash_aggregate(
         relation,
         group_by=list(columns),
@@ -69,6 +78,7 @@ def hash_project(
         disk=disk,
         output_name=output_name or ("project(%s)" % relation.name),
         batch=batch,
+        token=token,
     )
 
 
@@ -79,11 +89,14 @@ def sort_project(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    token: Optional[Any] = None,
 ) -> Relation:
     """Sort-based projection baseline (duplicates collapse after sorting)."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
-        return _plain_project(relation, columns, counters, output_name, batch)
+        return _plain_project(
+            relation, columns, counters, output_name, batch, token=token
+        )
     return sort_aggregate(
         relation,
         group_by=list(columns),
@@ -91,6 +104,7 @@ def sort_project(
         counters=counters,
         output_name=output_name or ("project(%s)" % relation.name),
         batch=batch,
+        token=token,
     )
 
 

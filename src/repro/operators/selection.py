@@ -217,6 +217,7 @@ def select(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    token: Optional[Any] = None,
 ) -> Relation:
     """Full-scan selection, charging the predicate's comparisons per tuple.
 
@@ -224,6 +225,10 @@ def select(
     and charges the counters in bulk; ``batch=False`` keeps the historical
     tuple-at-a-time loop.  Both produce identical outputs and identical
     counter totals (asserted by tests/test_batch_equivalence.py).
+
+    ``token`` is a :class:`repro.governor.CancellationToken` checked once
+    per page, so a cancelled or timed-out query stops scanning within one
+    page of work.
     """
     counters = counters if counters is not None else OperationCounters()
     out = Relation(
@@ -235,11 +240,16 @@ def select(
     if batch:
         test = predicate.compile(relation.schema)
         for page in relation.pages:
+            if token is not None:
+                token.check()
             rows = page.tuples
             counters.compare(per_tuple * len(rows))
             out.extend_rows([row for row in rows if test(row)])
         return out
-    for row in relation:
+    tpp = max(1, relation.tuples_per_page)
+    for i, row in enumerate(relation):
+        if token is not None and i % tpp == 0:
+            token.check()
         counters.compare(per_tuple)
         if predicate.evaluate(relation.schema, row):
             out.insert_unchecked(row)
@@ -252,6 +262,7 @@ def select_via_index(
     predicate: "Union[Comparison, Prefix]",
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
+    token: Optional[Any] = None,
 ) -> Relation:
     """Index-assisted selection for equality, range, and prefix predicates.
 
@@ -268,6 +279,7 @@ def select_via_index(
         relation.schema,
         relation.page_bytes,
     )
+    tpp = max(1, relation.tuples_per_page)
     if isinstance(predicate, Prefix):
         if not index.supports_range_scan:
             raise ValueError(
@@ -275,13 +287,17 @@ def select_via_index(
                 % predicate.column
             )
         low, high = predicate.range_bounds
-        for _key, tid in index.range_scan(low, high):
+        for i, (_key, tid) in enumerate(index.range_scan(low, high)):
+            if token is not None and i % tpp == 0:
+                token.check()
             counters.compare()
             counters.move_tuple()  # TID dereference
             out.insert_unchecked(relation.fetch(tid))
         return out
     if predicate.is_equality:
-        for tid in index.search(predicate.value):
+        for i, tid in enumerate(index.search(predicate.value)):
+            if token is not None and i % tpp == 0:
+                token.check()
             counters.move_tuple()  # TID dereference
             out.insert_unchecked(relation.fetch(tid))
         return out
@@ -297,7 +313,9 @@ def select_via_index(
         high = predicate.value
     else:
         raise ValueError("operator %r cannot use an index" % predicate.op)
-    for key, tid in index.range_scan(low, high):
+    for i, (key, tid) in enumerate(index.range_scan(low, high)):
+        if token is not None and i % tpp == 0:
+            token.check()
         # Open endpoints: drop the boundary key itself.
         if predicate.op == ">" and key == predicate.value:
             continue

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import OperationCounters
 from repro.cost.join_model import ALGORITHMS as JOIN_COST_MODELS
+from repro.errors import PlannerError
 from repro.cost.parameters import CostParameters
 from repro.cost.join_model import JoinWorkload
 from repro.join import ALL_JOINS, JoinSpec
@@ -55,10 +56,19 @@ class PlanContext:
     join_workers: int = 1
     #: Materialised-subplan cache; ``None`` disables reuse.
     reuse_cache: Optional[PlanReuseCache] = None
+    #: The governor's per-query :class:`repro.governor.QueryGuard`
+    #: (cancellation token, revocable memory grant, worker-fault policy).
+    #: ``None`` executes ungoverned, exactly as before.
+    guard: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.disk is None:
             self.disk = SimulatedDisk(self.counters)
+
+    @property
+    def token(self) -> Optional[Any]:
+        """The cancellation token operators should check, if any."""
+        return self.guard.token if self.guard is not None else None
 
 
 class PlanNode(abc.ABC):
@@ -87,6 +97,10 @@ class PlanNode(abc.ABC):
         old entries unaddressable) plus the memory grant, which changes
         spill behaviour and therefore the charged costs.
         """
+        if ctx.guard is not None:
+            # One cancellation check per plan node, including cache hits:
+            # a cancelled query must not keep returning cached subtrees.
+            ctx.guard.checkpoint()
         cache = ctx.reuse_cache
         if cache is None or not self.cacheable:
             return self._run(ctx)
@@ -219,7 +233,11 @@ class IndexScanNode(PlanNode):
                 % (self.table, self.predicate.column)
             )
         return select_via_index(
-            ctx.catalog.relation(self.table), index, self.predicate, ctx.counters
+            ctx.catalog.relation(self.table),
+            index,
+            self.predicate,
+            ctx.counters,
+            token=ctx.token,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -260,6 +278,7 @@ class FilterNode(PlanNode):
             self.predicate,
             ctx.counters,
             batch=ctx.batch,
+            token=ctx.token,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -283,7 +302,7 @@ class JoinNode(PlanNode):
         estimated_rows: float,
     ) -> None:
         if algorithm not in ALL_JOINS:
-            raise ValueError("unknown join algorithm %r" % algorithm)
+            raise PlannerError("unknown join algorithm %r" % algorithm)
         schema = _join_output_schema(left.schema, right.schema)
         super().__init__(schema, estimated_rows)
         self.left = left
@@ -321,6 +340,8 @@ class JoinNode(PlanNode):
             batch=ctx.batch,
             workers=ctx.join_workers,
         )
+        if ctx.guard is not None:
+            algo.set_guard(ctx.guard)
         spec = JoinSpec(
             r=left_rel,
             s=right_rel,
@@ -387,7 +408,12 @@ class ProjectNode(PlanNode):
         child = self.child.execute(ctx)
         if self.method == "sort":
             return sort_project(
-                child, self.columns, self.distinct, ctx.counters, batch=ctx.batch
+                child,
+                self.columns,
+                self.distinct,
+                ctx.counters,
+                batch=ctx.batch,
+                token=ctx.token,
             )
         return hash_project(
             child,
@@ -398,6 +424,7 @@ class ProjectNode(PlanNode):
             fudge=ctx.params.fudge,
             disk=ctx.disk,
             batch=ctx.batch,
+            token=ctx.token,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -462,6 +489,7 @@ class AggregateNode(PlanNode):
             return sort_aggregate(
                 child, self.group_by, self.aggregates, ctx.counters,
                 batch=ctx.batch,
+                token=ctx.token,
             )
         return hash_aggregate(
             child,
@@ -472,6 +500,7 @@ class AggregateNode(PlanNode):
             fudge=ctx.params.fudge,
             disk=ctx.disk,
             batch=ctx.batch,
+            token=ctx.token,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cost.parameters import CostParameters
+from repro.errors import PlannerError, UnplannableQueryError
 from repro.join import ALL_JOINS
 from repro.operators.selection import And, Comparison, Predicate, Prefix
 from repro.planner.plan import (
@@ -68,7 +69,7 @@ class PlannerConfig:
             ]
         unknown = set(self.join_algorithms) - set(ALL_JOINS)
         if unknown:
-            raise ValueError("unknown join algorithms: %r" % sorted(unknown))
+            raise PlannerError("unknown join algorithms: %r" % sorted(unknown))
         return list(self.join_algorithms)
 
 
@@ -214,7 +215,7 @@ class Planner:
                 if best_choice is None or rows < best_choice[0]:
                     best_choice = (rows, table, clause)
             if best_choice is None:
-                raise ValueError(
+                raise UnplannableQueryError(
                     "query graph is disconnected: %r cannot join %r without "
                     "a cross product" % (sorted(remaining), sorted(current.tables))
                 )
@@ -259,8 +260,10 @@ class Planner:
             if cost < best_cost * (1.0 - 1e-9):
                 best_alg, best_cost = algorithm, cost
         if best_alg is None:
-            raise ValueError("no join algorithm is feasible at %d pages"
-                             % self.config.memory_pages)
+            raise UnplannableQueryError(
+                "no join algorithm is feasible at %d pages"
+                % self.config.memory_pages
+            )
 
         node = JoinNode(left.node, right.node, left_col, right_col, best_alg, rows)
         distinct = dict(right.distinct)
@@ -284,7 +287,7 @@ class Planner:
         for table in query.tables:
             for name in self.catalog.relation(table).schema.names:
                 if name in seen and len(query.tables) > 1:
-                    raise ValueError(
+                    raise PlannerError(
                         "column %r appears in both %r and %r; the planner "
                         "requires distinct column names across joined tables"
                         % (name, seen[name], table)

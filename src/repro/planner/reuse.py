@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, Optional, Set, Tuple
 
+from repro.errors import ConfigurationError
 from repro.storage.relation import Relation
 
 Fingerprint = Hashable
@@ -35,7 +36,7 @@ class PlanReuseCache:
 
     def __init__(self, max_entries: int = 64) -> None:
         if max_entries < 1:
-            raise ValueError("cache needs room for at least one entry")
+            raise ConfigurationError("cache needs room for at least one entry")
         self.max_entries = max_entries
         self._entries: Dict[Fingerprint, Relation] = {}
         self._tables: Dict[Fingerprint, Tuple[str, ...]] = {}
@@ -44,6 +45,7 @@ class PlanReuseCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,6 +59,9 @@ class PlanReuseCache:
             self.misses += 1
         else:
             self.hits += 1
+            # LRU: a hit refreshes the entry's position, so the governor's
+            # shrink_to evicts cold subplans first.
+            self._entries[fingerprint] = self._entries.pop(fingerprint)
         return found
 
     def put(
@@ -67,6 +72,7 @@ class PlanReuseCache:
     ) -> None:
         """Store ``result`` for ``fingerprint``, tagged with its base tables."""
         if fingerprint in self._entries:
+            self._entries.pop(fingerprint)
             self._entries[fingerprint] = result
             return
         while len(self._entries) >= self.max_entries:
@@ -78,11 +84,26 @@ class PlanReuseCache:
             self._by_table.setdefault(name, set()).add(fingerprint)
 
     def _evict_oldest(self) -> None:
-        # Dicts iterate in insertion order: FIFO eviction, cheap and
-        # deterministic.  The workloads here repeat hot subplans quickly,
-        # so recency tracking buys nothing.
+        # Dicts iterate in insertion order and ``get`` moves hits to the
+        # end, so the first entry is the least recently used.
         oldest = next(iter(self._entries))
         self._drop(oldest)
+        self.evictions += 1
+
+    def shrink_to(self, target_entries: int) -> int:
+        """Evict LRU entries until at most ``target_entries`` remain.
+
+        The governor registers this as the cache's pressure valve: under
+        memory pressure cached materialisations are the cheapest thing to
+        give back (they can always be recomputed).  Returns the number of
+        entries evicted.
+        """
+        target = max(0, int(target_entries))
+        evicted = 0
+        while len(self._entries) > target:
+            self._evict_oldest()
+            evicted += 1
+        return evicted
 
     def _drop(self, fingerprint: Fingerprint) -> None:
         self._entries.pop(fingerprint, None)
@@ -116,6 +137,7 @@ class PlanReuseCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.errors import ReproError
 from repro.recovery.checkpoint import Checkpointer
 from repro.recovery.log_manager import LogManager
 from repro.recovery.records import (
@@ -43,7 +44,7 @@ PAGE_READ_TIME = 0.010       # sequential reload of snapshot / log pages
 RECORD_APPLY_TIME = 0.00005  # CPU to interpret and apply one log record
 
 
-class RecoveryError(RuntimeError):
+class RecoveryError(ReproError, RuntimeError):
     """The durable state is structurally inconsistent: the log or the
     snapshot references pages outside the disk image being rebuilt.
 

@@ -1,0 +1,397 @@
+"""Tests for the resource governor (repro.governor) and its seams.
+
+Covers admission control (budgets, queue, typed rejections), cooperative
+cancellation and deadlines, mid-query grant revocation with hybrid hash's
+graceful degradation, the worker circuit breaker, and the worker-count
+validation satellite.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.chaos.injector import FaultInjector, FaultPlan
+from repro.core.database import MainMemoryDatabase
+from repro.cost.counters import OperationCounters
+from repro.cost.parameters import CostParameters
+from repro.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    GovernorError,
+    PlannerError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    UnplannableQueryError,
+)
+from repro.governor import (
+    CancellationToken,
+    CircuitBreaker,
+    Governor,
+    GovernorConfig,
+    MemoryGrant,
+    QueryGuard,
+)
+from repro.join.base import JoinSpec
+from repro.join.hybrid_hash import HybridHashJoin
+from repro.join.parallel import validate_workers
+from repro.operators.selection import Comparison
+from repro.planner.query import JoinClause, Query
+from repro.storage.tuples import DataType, make_schema
+
+from tests.conftest import build_relation
+
+
+def make_db(**kwargs) -> MainMemoryDatabase:
+    db = MainMemoryDatabase(memory_pages=4, page_bytes=256, **kwargs)
+    db.create_table(
+        "emp",
+        [("emp_id", DataType.INTEGER), ("dept", DataType.INTEGER),
+         ("salary", DataType.INTEGER)],
+    )
+    db.create_table(
+        "proj", [("proj_id", DataType.INTEGER), ("owner", DataType.INTEGER)]
+    )
+    for i in range(240):
+        db.insert("emp", (i, i % 10, 1000 + i))
+    for p in range(240):
+        db.insert("proj", (p, (p * 13) % 240))
+    db.analyze()
+    return db
+
+
+FILTER_QUERY = Query(
+    tables=["emp"], predicates=[("emp", Comparison("salary", ">", 1100))]
+)
+SPILL_JOIN = Query(
+    tables=["emp", "proj"],
+    joins=[JoinClause("emp", "emp_id", "proj", "owner")],
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for exc in (AdmissionRejected, QueryCancelled, QueryTimeout):
+            assert issubclass(exc, GovernorError)
+            assert issubclass(exc, ReproError)
+        # Builtin compatibility: old except ValueError clauses keep working.
+        assert issubclass(PlannerError, ValueError)
+        assert issubclass(UnplannableQueryError, PlannerError)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_recovery_error_joined_the_taxonomy(self):
+        from repro.recovery.restart import RecoveryError
+
+        assert issubclass(RecoveryError, ReproError)
+        assert issubclass(RecoveryError, RuntimeError)
+
+    def test_planner_raises_typed_errors(self):
+        db = make_db()
+        disconnected = Query(tables=["emp", "proj"])  # no join clause
+        with pytest.raises(UnplannableQueryError):
+            db.plan(disconnected)
+
+
+class TestAdmission:
+    def test_happy_path_admits_and_releases(self):
+        gov = Governor(GovernorConfig(max_concurrent=2, max_memory_pages=100))
+        handle = gov.admit(10)
+        assert gov.stats()["active"] == 1
+        assert gov.stats()["pages_in_use"] == 10
+        gov.release(handle)
+        assert gov.stats()["active"] == 0
+        assert gov.stats()["pages_in_use"] == 0
+        assert gov.stats()["admitted"] == 1
+
+    def test_memory_rejection_is_typed(self):
+        gov = Governor(GovernorConfig(max_memory_pages=10))
+        with pytest.raises(AdmissionRejected) as exc_info:
+            gov.admit(20)
+        assert exc_info.value.reason == "memory"
+        assert exc_info.value.qid is not None
+
+    def test_queue_full_rejection_is_typed(self):
+        gov = Governor(GovernorConfig(max_concurrent=1, max_queue=0))
+        gov.admit(2)
+        with pytest.raises(AdmissionRejected) as exc_info:
+            gov.admit(2)
+        assert exc_info.value.reason == "queue-full"
+
+    def test_admission_timeout(self):
+        gov = Governor(
+            GovernorConfig(max_concurrent=1, max_queue=4, admission_timeout=0.05)
+        )
+        gov.admit(2)
+        with pytest.raises(QueryTimeout):
+            gov.admit(2)
+        assert gov.stats()["admission_timeouts"] == 1
+
+    def test_queued_request_admits_when_capacity_frees(self):
+        gov = Governor(
+            GovernorConfig(max_concurrent=1, max_queue=4, admission_timeout=5.0)
+        )
+        first = gov.admit(2)
+        admitted = []
+
+        def waiter():
+            admitted.append(gov.admit(2))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        gov.release(first)
+        thread.join(timeout=5.0)
+        assert admitted and admitted[0].qid != first.qid
+        assert gov.stats()["peak_concurrent"] == 1
+
+    def test_memory_pressure_shrinks_registered_caches(self):
+        from repro.planner.reuse import PlanReuseCache
+        from repro.storage.relation import Relation
+        from repro.storage.tuples import Field, Schema
+
+        cache = PlanReuseCache(max_entries=16)
+        rel = Relation("x", Schema([Field("a", DataType.INTEGER)]), 64)
+        for i in range(8):
+            cache.put("k%d" % i, rel, ["t"])
+        gov = Governor(
+            GovernorConfig(max_concurrent=1, max_queue=0, pressure_keep=0.5)
+        )
+        gov.register_shrinkable(cache)
+        gov.admit(2)
+        with pytest.raises(AdmissionRejected):
+            gov.admit(2)  # concurrency-blocked: pressure fires first
+        assert len(cache) == 4
+        assert gov.stats()["pressure_evictions"] == 4
+
+    def test_cancel_by_qid(self):
+        gov = Governor()
+        handle = gov.admit(4)
+        assert gov.cancel(handle.qid) is True
+        assert gov.cancel(9999) is False
+        with pytest.raises(QueryCancelled):
+            handle.token.check()
+        gov.release(handle)
+        assert gov.stats()["cancelled"] == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GovernorConfig(max_concurrent=0)
+        with pytest.raises(ConfigurationError):
+            GovernorConfig(max_queue=-1)
+        with pytest.raises(ConfigurationError):
+            GovernorConfig(pressure_keep=1.5)
+
+
+class TestCancellationToken:
+    def test_cancel_takes_effect_at_next_check(self):
+        token = CancellationToken(qid=7)
+        token.check()
+        token.cancel()
+        assert token.expired()
+        with pytest.raises(QueryCancelled) as exc_info:
+            token.check()
+        assert exc_info.value.qid == 7
+
+    def test_deadline_with_fake_clock(self):
+        now = [0.0]
+        token = CancellationToken(qid=1, timeout=10.0, clock=lambda: now[0])
+        token.check()
+        now[0] = 10.5
+        with pytest.raises(QueryTimeout):
+            token.check()
+
+    def test_zero_timeout_aborts_first_page(self):
+        db = make_db()
+        with pytest.raises(QueryTimeout):
+            db.execute(FILTER_QUERY, timeout=0.0)
+        # The governor released the query's capacity on the way out.
+        assert db.governor_stats()["active"] == 0
+
+    def test_chaos_plan_cancels_at_exact_page(self):
+        db = make_db()
+        injector = FaultInjector(FaultPlan(cancel_at_page=5))
+        db.attach_chaos(injector)
+        with pytest.raises(QueryCancelled):
+            db.execute(FILTER_QUERY)
+        assert injector.queries_cancelled == 1
+        assert injector.exec_pages >= 5
+        # Later queries run normally on fresh tokens.
+        rows = db.execute(FILTER_QUERY)
+        assert len(list(rows)) == 139
+
+
+class TestMemoryGrant:
+    def test_effective_and_floor(self):
+        grant = MemoryGrant(10)
+        assert grant.effective(6) == 6
+        assert grant.effective(50) == 10
+        grant.revoke(1)  # floors at 2
+        assert grant.pages == 2
+        assert grant.effective(50) == 2
+
+    def test_revoke_is_one_way(self):
+        grant = MemoryGrant(10)
+        assert grant.revoke(4) == 4
+        assert grant.revoke(8) == 4  # raising is ignored
+        assert grant.revocations == 1
+
+    def test_charge_tracks_high_water(self):
+        grant = MemoryGrant(10)
+        grant.charge(3.5)
+        grant.charge(2.0)
+        assert grant.peak_pages == 3.5
+        assert not grant.over_budget(10.0)
+        assert grant.over_budget(10.5)
+
+    def test_rejects_tiny_grants(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGrant(1)
+
+
+def hybrid_instance(n=400, page_bytes=64, memory_pages=6):
+    r = build_relation("r", [i % 97 for i in range(n)], page_bytes=page_bytes)
+    s_schema = make_schema(("skey", DataType.INTEGER),
+                           ("sval", DataType.INTEGER))
+    s = build_relation(
+        "s", [i % 89 for i in range(2 * n)], schema=s_schema,
+        page_bytes=page_bytes,
+    )
+    params = CostParameters(
+        r_pages=r.page_count, s_pages=s.page_count,
+        r_tuples_per_page=r.tuples_per_page,
+        s_tuples_per_page=s.tuples_per_page,
+    )
+
+    def spec():
+        return JoinSpec(r=r, s=s, r_field="key", s_field="skey",
+                        memory_pages=memory_pages, params=params)
+
+    return spec
+
+
+class TestGrantRevocationDegradation:
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "tuple"])
+    def test_revoked_grant_demotes_resident_same_rows(self, batch):
+        spec = hybrid_instance()
+        baseline = HybridHashJoin(batch=batch).join(spec())
+        assert baseline.cardinality > 0
+
+        grant = MemoryGrant(6)
+        token = CancellationToken(qid=1)
+        # Revoke hard at the 4th page boundary, mid phase 1.
+        token.on_check = (
+            lambda tok: grant.revoke(2) if tok.checks == 4 else None
+        )
+        guard = QueryGuard(token=token, grant=grant)
+        degraded = HybridHashJoin(batch=batch).set_guard(guard).join(spec())
+
+        assert grant.revocations == 1
+        assert sorted(degraded.relation) == sorted(baseline.relation)
+        # Demotion is honest: the degraded run paid extra moves/IO.
+        assert degraded.counters.as_dict() != baseline.counters.as_dict()
+
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "tuple"])
+    def test_unrevoked_guard_is_counter_identical(self, batch):
+        spec = hybrid_instance()
+        baseline = HybridHashJoin(batch=batch).join(spec())
+        guard = QueryGuard(token=CancellationToken(qid=1), grant=MemoryGrant(6))
+        governed = HybridHashJoin(batch=batch).set_guard(guard).join(spec())
+        assert sorted(governed.relation) == sorted(baseline.relation)
+        assert governed.counters.as_dict() == baseline.counters.as_dict()
+
+    def test_revocation_mid_phase1b_still_correct(self):
+        spec = hybrid_instance()
+        baseline = HybridHashJoin(batch=True).join(spec())
+        grant = MemoryGrant(6)
+        token = CancellationToken(qid=2)
+        # R is ~7 pages at 8 tuples/page: checkpoint ~30 lands in S's scan.
+        token.on_check = (
+            lambda tok: grant.revoke(3) if tok.checks == 30 else None
+        )
+        guard = QueryGuard(token=token, grant=grant)
+        degraded = HybridHashJoin(batch=True).set_guard(guard).join(spec())
+        assert grant.revocations == 1
+        assert sorted(degraded.relation) == sorted(baseline.relation)
+
+    def test_cancellation_aborts_join(self):
+        spec = hybrid_instance()
+        token = CancellationToken(qid=3)
+        token.on_check = lambda tok: token.cancel() if tok.checks == 5 else None
+        guard = QueryGuard(token=token)
+        with pytest.raises(QueryCancelled):
+            HybridHashJoin(batch=True).set_guard(guard).join(spec())
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_is_sticky(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert breaker.allows_parallel()
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert not breaker.allows_parallel()
+        breaker.reset()
+        assert breaker.allows_parallel()
+        assert breaker.serial_retries == 2  # retries survive reset
+
+    def test_tripped_breaker_forces_serial_pool(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure()
+        guard = QueryGuard(token=CancellationToken(), breaker=breaker)
+        algo = HybridHashJoin(workers=4).set_guard(guard)
+        assert algo.pool_workers() == 1
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+
+
+class TestValidateWorkers:
+    def test_accepts_ints_and_integral_floats(self):
+        assert validate_workers(1) == 1
+        assert validate_workers(4) == 4
+        assert validate_workers(0) == 1  # 0 means serial
+        assert validate_workers(2.0) == 2
+
+    @pytest.mark.parametrize("bad", [-1, -2.0, 1.5, True, "2", None])
+    def test_rejects_invalid_counts(self, bad):
+        with pytest.raises((ConfigurationError, TypeError)):
+            validate_workers(bad)
+
+    def test_join_entry_point_validates(self):
+        with pytest.raises(ConfigurationError):
+            HybridHashJoin(workers=-3)
+
+    def test_facade_validates(self):
+        with pytest.raises(ConfigurationError):
+            MainMemoryDatabase(join_workers=-1)
+
+
+class TestFacadeIntegration:
+    def test_every_execute_is_governed(self):
+        db = make_db()
+        rows = sorted(db.execute(FILTER_QUERY))
+        stats = db.governor_stats()
+        assert stats["admitted"] == 1
+        assert stats["active"] == 0  # released on the way out
+        assert sorted(db.execute(FILTER_QUERY)) == rows
+        assert db.governor_stats()["admitted"] == 2
+
+    def test_spill_join_under_default_governor(self):
+        db = make_db()
+        rows = list(db.execute(SPILL_JOIN))
+        assert len(rows) == 240  # owner is a permutation of emp_id
+
+    def test_governor_config_passthrough(self):
+        db = make_db(governor=GovernorConfig(max_concurrent=2))
+        assert db.governor.config.max_concurrent == 2
+        # Facade defaults the total budget to one grant per slot.
+        assert db.governor.config.max_memory_pages == 4 * 2
+
+    def test_release_happens_on_error_too(self):
+        db = make_db()
+        injector = FaultInjector(FaultPlan(cancel_at_page=2))
+        db.attach_chaos(injector)
+        with pytest.raises(QueryCancelled):
+            db.execute(FILTER_QUERY)
+        assert db.governor_stats()["active"] == 0

@@ -49,6 +49,7 @@ class TestCacheUnit:
         assert cache.get("k") is rel
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "invalidations": 0,
+            "evictions": 0,
         }
 
     def test_invalidate_drops_only_dependents(self):
@@ -61,7 +62,7 @@ class TestCacheUnit:
         assert cache.get("a") is None and cache.get("b") is None
         assert cache.get("c") is rel
 
-    def test_fifo_eviction(self):
+    def test_lru_eviction(self):
         cache = PlanReuseCache(max_entries=2)
         rel = Relation("x", Schema([Field("a", DataType.INTEGER)]), 64)
         cache.put("a", rel, ["t"])
@@ -70,6 +71,39 @@ class TestCacheUnit:
         assert len(cache) == 2
         assert cache.get("a") is None
         assert cache.get("c") is rel
+        assert cache.stats()["evictions"] == 1
+
+    def test_lru_hit_refreshes_recency(self):
+        cache = PlanReuseCache(max_entries=2)
+        rel = Relation("x", Schema([Field("a", DataType.INTEGER)]), 64)
+        cache.put("a", rel, ["t"])
+        cache.put("b", rel, ["t"])
+        assert cache.get("a") is rel  # refresh "a"
+        cache.put("c", rel, ["t"])    # evicts "b", not "a"
+        assert cache.get("a") is rel
+        assert cache.get("b") is None
+
+    def test_shrink_to_evicts_cold_entries_first(self):
+        cache = PlanReuseCache(max_entries=8)
+        rel = Relation("x", Schema([Field("a", DataType.INTEGER)]), 64)
+        for key in "abcd":
+            cache.put(key, rel, ["t"])
+        assert cache.get("a") is rel  # "a" becomes most recent
+        assert cache.shrink_to(2) == 2
+        assert len(cache) == 2
+        assert cache.get("a") is rel
+        assert cache.get("d") is rel
+        assert cache.get("b") is None and cache.get("c") is None
+        assert cache.stats()["evictions"] == 2
+        assert cache.shrink_to(10) == 0
+
+    def test_rejects_zero_capacity(self):
+        from repro.errors import ConfigurationError, ReproError
+        with pytest.raises(ConfigurationError):
+            PlanReuseCache(max_entries=0)
+        with pytest.raises(ValueError):  # backward compatible
+            PlanReuseCache(max_entries=-1)
+        assert issubclass(ConfigurationError, ReproError)
 
 
 class TestDatabaseIntegration:
@@ -125,6 +159,7 @@ class TestDatabaseIntegration:
         assert sorted(db.execute(FILTER_QUERY)) == rows
         assert db.reuse_stats() == {
             "entries": 0, "hits": 0, "misses": 0, "invalidations": 0,
+            "evictions": 0,
         }
 
     def test_memory_grant_partitions_the_cache(self):
