@@ -114,3 +114,124 @@ def test_group_commit_batches_about_ten(benchmark):
     # "we could have up to ten transactions per commit group" -- our
     # transfers log 328 bytes, so ~12 fit a page.
     assert 8 <= commits_per_page <= 14
+
+
+# ---------------------------------------------------------------------------
+# PR 4 -- the batched commit + parallel restart pipeline, gated.
+#
+# Two ends of the durability pipeline, one payload (committed as the
+# repo-root ``BENCH_PR4.json``):
+#
+# * write side: adaptive group commit vs the durable-per-commit baseline
+#   on the Section 5 transfer workload (simulated tps; the paper's
+#   100 -> 1000 ladder).  CI gate: >= 2x; full scale shows ~10x.
+# * read side: parallel partitioned-log redo (4 workers) vs the serial
+#   interpreter on the same crashed history (simulated restart seconds,
+#   Section 5.5's multi-disk argument), with real wall-clock reported
+#   alongside and the recovered images compared byte-for-byte.
+#
+# ``REPRO_BENCH_SCALE`` scales the history length (CI smoke runs 0.25).
+# ---------------------------------------------------------------------------
+
+import os
+import time
+
+from repro.recovery.checkpoint import Checkpointer
+from repro.recovery.restart import crash, recover
+from repro.recovery.state import DiskSnapshot
+
+from conftest import emit_json
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def crashed_history(horizon):
+    """A Section-5-shaped banking history, crashed mid-checkpoint-sweep."""
+    queue = EventQueue(SimulatedClock())
+    state = DatabaseState(2000, records_per_page=64, initial_value=100)
+    lm = LogManager(queue, policy=CommitPolicy.GROUP)
+    engine = TransactionEngine(state, queue, lm)
+    snap = DiskSnapshot()
+    ck = Checkpointer(engine, snap, interval=0.5)
+    ck.start()
+    bank = BankingWorkload(2000, seed=41)
+    t = 0.0
+    while t < horizon:
+        script, _ = bank.next_script()
+        engine.submit_at(t, script)
+        t += 0.001
+    queue.run_until(horizon)
+    return crash(engine, ck)
+
+
+def timed_recover(crash_state, workers):
+    t0 = time.perf_counter()
+    out = recover(crash_state, initial_value=100, workers=workers)
+    return out, (time.perf_counter() - t0) * 1000
+
+
+def test_batched_pipeline_gate(benchmark):
+    """The PR 4 acceptance gate, both ends of the pipeline."""
+
+    def pipeline():
+        conventional = run_policy(CommitPolicy.CONVENTIONAL, arrival_rate=2000)
+        group = run_policy(CommitPolicy.GROUP)
+        crash_state = crashed_history(horizon=4.0 * SCALE)
+        serial, serial_ms = timed_recover(crash_state, workers=1)
+        parallel, parallel_ms = timed_recover(crash_state, workers=4)
+        return conventional, group, serial, serial_ms, parallel, parallel_ms
+
+    conventional, group, serial, serial_ms, parallel, parallel_ms = (
+        benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    )
+
+    commit_speedup = group["throughput"] / conventional["throughput"]
+    restart_speedup = serial.seconds / parallel.seconds
+    identical = (
+        parallel.state.values == serial.state.values
+        and parallel.state.page_lsn == serial.state.page_lsn
+        and parallel.committed_tids == serial.committed_tids
+        and parallel.log_records_scanned == serial.log_records_scanned
+        and parallel.updates_redone == serial.updates_redone
+        and parallel.updates_undone == serial.updates_undone
+    )
+    full_scale = SCALE >= 1.0
+
+    payload = {
+        "experiment": "bench_recovery_pipeline",
+        "scale": SCALE,
+        "commit": {
+            "conventional_tps": round(conventional["throughput"], 1),
+            "group_tps": round(group["throughput"], 1),
+            "speedup": round(commit_speedup, 2),
+            "conventional_log_pages": conventional["pages"],
+            "group_log_pages": group["pages"],
+        },
+        "restart": {
+            "serial_seconds": round(serial.seconds, 6),
+            "workers4_seconds": round(parallel.seconds, 6),
+            "speedup": round(restart_speedup, 2),
+            "serial_wall_ms": round(serial_ms, 3),
+            "workers4_wall_ms": round(parallel_ms, 3),
+            "log_records_scanned": serial.log_records_scanned,
+            "updates_redone": serial.updates_redone,
+            "pages_skipped_clean": parallel.pages_skipped_clean,
+            "identical_results": identical,
+        },
+        "threshold": {
+            "commit_speedup_min": 2.0,
+            "restart_speedup_min": 2.0 if full_scale else 1.5,
+            "full_scale": full_scale,
+        },
+    }
+    emit_json("bench_recovery_pipeline", payload, root_copy="BENCH_PR4.json")
+
+    # Correctness before speed: the parallel image must be byte-identical.
+    assert identical
+
+    # CI smoke gate: batched commit >= 2x durable-per-commit (full scale
+    # reproduces the paper's order of magnitude, asserted in the ladder).
+    assert commit_speedup >= 2.0
+
+    # Parallel restart: the straggler stream's share of the modelled cost.
+    assert restart_speedup >= payload["threshold"]["restart_speedup_min"]

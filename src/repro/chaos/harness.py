@@ -273,12 +273,18 @@ def capture(run: ScenarioRun) -> CrashState:
     return crash_state
 
 
-def check_run(run: ScenarioRun) -> InvariantReport:
-    """Capture, recover, and verify one crashed (or settled) run."""
+def check_run(
+    run: ScenarioRun, redo_workers: Optional[int] = None
+) -> InvariantReport:
+    """Capture, recover, and verify one crashed (or settled) run.
+
+    ``redo_workers`` additionally verifies the parallel partitioned-log
+    recovery path against the serial one on the same crash state."""
     checker = InvariantChecker(
         initial_value=run.config.initial_balance,
         scripts_by_tid=run.scripts_by_tid,
         deposit_by_tid=run.deposit_by_tid,
+        redo_workers=redo_workers,
     )
     return checker.check(capture(run), run.acked_tids, run.active_tids)
 
@@ -290,11 +296,14 @@ def exhaustive_sweep(
     config: ScenarioConfig,
     stride: int = 1,
     points: Optional[int] = None,
+    redo_workers: Optional[int] = None,
 ) -> SweepReport:
     """Crash at every ``stride``-th schedulable point and verify.
 
     ``points`` skips the profiling run when the caller already knows the
     count (the benchmark reuses it across configurations).
+    ``redo_workers`` additionally checks parallel-redo equivalence on
+    every crash state (one extra invariant per verified run).
     """
     if points is None:
         points = profile_points(config)
@@ -317,12 +326,14 @@ def exhaustive_sweep(
             )
             continue
         report.crashes += 1
-        _verify(report, run, "exhaustive", target)
+        _verify(report, run, "exhaustive", target, redo_workers)
     return report
 
 
 def seeded_sweep(
-    config: ScenarioConfig, seeds: Iterable[int]
+    config: ScenarioConfig,
+    seeds: Iterable[int],
+    redo_workers: Optional[int] = None,
 ) -> SweepReport:
     """Run one full fault schedule per seed and verify each crash."""
     points = profile_points(config)
@@ -336,7 +347,7 @@ def seeded_sweep(
         # A schedule whose crash point lies beyond the actual run still
         # verifies recovery of the settled end state -- a crash on an
         # idle, fully-durable system must be a no-op.
-        _verify(report, run, "seeded", seed)
+        _verify(report, run, "seeded", seed, redo_workers)
         report.pages_torn += injector.pages_torn
         report.delays_injected += injector.delays_injected
         report.checkpoint_writes_dropped += injector.checkpoint_writes_dropped
@@ -350,9 +361,15 @@ def replay_seed(config: ScenarioConfig, seed: int) -> InvariantReport:
     return check_run(run)
 
 
-def _verify(report: SweepReport, run: ScenarioRun, mode: str, key: int) -> None:
+def _verify(
+    report: SweepReport,
+    run: ScenarioRun,
+    mode: str,
+    key: int,
+    redo_workers: Optional[int] = None,
+) -> None:
     try:
-        result = check_run(run)
+        result = check_run(run, redo_workers=redo_workers)
         report.invariants_checked += result.invariants_checked
     except InvariantViolation as violation:
         report.failures.append(

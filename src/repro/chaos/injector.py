@@ -222,6 +222,7 @@ class FaultInjector:
         if queue is not None:
             queue.fault_injector = self
         if log_manager is not None:
+            log_manager.fault_injector = self  # group-seal points
             log_manager.log.attach_fault_injector(self)
             if log_manager.stable is not None:
                 log_manager.stable.on_append = self._on_stable_append

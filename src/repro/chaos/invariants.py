@@ -23,6 +23,10 @@ matter where the crash landed or which device faults preceded it:
 Finally the **differential oracle**: a dict-backed shadow database
 re-executes the committed workload scripts in commit-LSN order and must
 match the recovered image byte-for-byte (see :mod:`repro.chaos.oracle`).
+
+Constructing the checker with ``redo_workers`` opts in a seventh
+invariant: the batched parallel-redo path must recover the identical
+image and statistics as the serial interpreter (timings excepted).
 """
 
 from __future__ import annotations
@@ -61,10 +65,16 @@ class InvariantChecker:
         initial_value: Any = 0,
         scripts_by_tid: Optional[Dict[int, Sequence[Tuple]]] = None,
         deposit_by_tid: Optional[Dict[int, int]] = None,
+        redo_workers: Optional[int] = None,
     ) -> None:
+        """``redo_workers`` opts in a seventh invariant: recovering the
+        same crash state through the parallel partitioned-log path with
+        that many workers must reproduce the serial image and statistics
+        exactly (timings excepted)."""
         self.initial_value = initial_value
         self.scripts_by_tid = scripts_by_tid or {}
         self.deposit_by_tid = deposit_by_tid or {}
+        self.redo_workers = redo_workers
 
     def check(
         self,
@@ -201,6 +211,57 @@ class InvariantChecker:
                     "conservation",
                     "recovered balances total %s, expected %s"
                     % (actual_total, expected_total),
+                )
+            checked += 1
+
+        # 7 (opt-in) -- parallel-redo equivalence: the batched
+        # partitioned-log path is a drop-in replacement for the serial
+        # interpreter on this exact crash state.
+        if self.redo_workers is not None and self.redo_workers > 1:
+            parallel = recover(
+                crash_state,
+                initial_value=self.initial_value,
+                workers=self.redo_workers,
+            )
+            if parallel.state.values != outcome.state.values:
+                raise InvariantViolation(
+                    "parallel-redo",
+                    "parallel recovery (workers=%d) differs from serial at "
+                    "records %s"
+                    % (
+                        self.redo_workers,
+                        _first_diffs(outcome.state.values, parallel.state.values),
+                    ),
+                )
+            if parallel.state.page_lsn != outcome.state.page_lsn:
+                raise InvariantViolation(
+                    "parallel-redo",
+                    "parallel recovery (workers=%d) left different page LSNs "
+                    "%s" % (
+                        self.redo_workers,
+                        _first_diffs(
+                            outcome.state.page_lsn, parallel.state.page_lsn
+                        ),
+                    ),
+                )
+            if (
+                parallel.committed_tids != outcome.committed_tids
+                or parallel.log_records_scanned != outcome.log_records_scanned
+                or parallel.updates_redone != outcome.updates_redone
+                or parallel.updates_undone != outcome.updates_undone
+            ):
+                raise InvariantViolation(
+                    "parallel-redo",
+                    "parallel recovery statistics diverged: serial "
+                    "scanned/redone/undone %d/%d/%d, parallel %d/%d/%d"
+                    % (
+                        outcome.log_records_scanned,
+                        outcome.updates_redone,
+                        outcome.updates_undone,
+                        parallel.log_records_scanned,
+                        parallel.updates_redone,
+                        parallel.updates_undone,
+                    ),
                 )
             checked += 1
 

@@ -26,13 +26,17 @@ from repro.recovery.checkpoint import Checkpointer
 from repro.recovery.lock_table import LockMode, LockTable
 from repro.recovery.log_device import LogDevice, PartitionedLog
 from repro.recovery.log_manager import CommitPolicy, LogManager
+from repro.recovery.parallel_restart import parallel_redo
 from repro.recovery.records import (
     AbortRecord,
     BeginRecord,
     CommitRecord,
+    GroupEncoding,
     LogRecord,
     RecordSizing,
     UpdateRecord,
+    encode_group,
+    pack_pages,
 )
 from repro.recovery.restart import (
     CrashState,
@@ -60,6 +64,7 @@ __all__ = [
     "DatabaseState",
     "DirtyPageTable",
     "DiskSnapshot",
+    "GroupEncoding",
     "LockMode",
     "LockTable",
     "LogDevice",
@@ -77,5 +82,8 @@ __all__ = [
     "UpdateRecord",
     "VersionManager",
     "crash",
+    "encode_group",
+    "pack_pages",
+    "parallel_redo",
     "recover",
 ]

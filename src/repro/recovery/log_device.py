@@ -138,6 +138,13 @@ class PartitionedLog:
         """The device that can start a write soonest."""
         return min(self.devices, key=lambda d: (d.busy_until, d.device_id))
 
+    def device_for(self, stream: int) -> LogDevice:
+        """The device pinned to ``stream`` (pipelined dispatch): each
+        commit stream appends FIFO to its own device, so independent
+        streams' sealed groups flush concurrently instead of contending
+        for whichever device is momentarily least busy."""
+        return self.devices[stream % len(self.devices)]
+
     @property
     def pages_written(self) -> int:
         return sum(d.pages_written for d in self.devices)

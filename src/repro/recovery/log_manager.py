@@ -33,6 +33,7 @@ from repro.recovery.records import (
     LogRecord,
     RecordSizing,
     UpdateRecord,
+    pack_pages,
 )
 from repro.recovery.stable_memory import StableMemory
 from repro.sim.events import EventQueue
@@ -51,6 +52,7 @@ class _CommitGroup:
     """The transactions sharing one log page, plus its dependency edges."""
 
     group_id: int
+    stream: int = 0
     records: List[LogRecord] = field(default_factory=list)
     bytes_used: int = 0
     commit_tids: List[int] = field(default_factory=list)
@@ -58,6 +60,9 @@ class _CommitGroup:
     depends_on: Set[int] = field(default_factory=set)
     sealed: bool = False
     dispatched: bool = False
+    #: A group-commit timer is pending for this group.  One timer per
+    #: group: the first commit arms it, later commits ride the same bound.
+    timer_armed: bool = False
 
 
 class LogManager:
@@ -74,12 +79,20 @@ class LogManager:
         compress: bool = False,
         on_commit: Optional[Callable[[int], None]] = None,
         max_commit_delay: Optional[float] = None,
+        pipeline: bool = False,
     ) -> None:
         """``max_commit_delay`` bounds group-commit latency: a page holding
         a commit record is force-sealed that many seconds after the commit
         was appended even if it never fills -- the timer real group-commit
         implementations add so a lone transaction on an idle system is not
-        stranded in the buffer."""
+        stranded in the buffer.
+
+        ``pipeline`` pins each commit stream to its own log device, so a
+        stream's sealed groups queue FIFO on one device while other
+        streams flush concurrently -- instead of every group racing to the
+        momentarily least-busy device and the streams advancing in
+        lockstep.  Off by default (least-busy dispatch, the seed
+        behaviour)."""
         if policy is CommitPolicy.STABLE and stable is None:
             stable = StableMemory()
         if compress and policy is not CommitPolicy.STABLE:
@@ -94,8 +107,17 @@ class LogManager:
         self.stable = stable
         self.compress = compress
         self.on_commit = on_commit
+        #: Optional batch completion hook: called once per durable commit
+        #: group with the list of newly durable tids (in commit order).
+        #: When set it replaces ``on_commit``; the engine uses it to
+        #: finalize a whole page of transactions per call.
+        self.on_commit_batch: Optional[Callable[[List[int]], None]] = None
         self.max_commit_delay = max_commit_delay
+        self.pipeline = pipeline
         self.log = PartitionedLog(queue, devices, page_write_time)
+        #: Optional :class:`repro.chaos.FaultInjector`; group seals are
+        #: schedulable points so crash sweeps can land mid-group.
+        self.fault_injector = None
 
         self._next_lsn = 0
         self._next_group = 0
@@ -106,7 +128,7 @@ class LogManager:
         # device degenerates to the classic single append stream.
         self._groups: Dict[int, _CommitGroup] = {}
         self._open_groups: List[_CommitGroup] = [
-            self._new_open_group() for _ in range(devices)
+            self._new_open_group(stream) for stream in range(devices)
         ]
         self._parked: Deque[int] = deque()  # sealed groups awaiting deps
         self._durable_groups: Set[int] = set()
@@ -120,9 +142,22 @@ class LogManager:
 
         self.durable_tids: Set[int] = set()
         self._drain_cursor = 0  # stable records currently in flight
+        #: Full (uncompressed) bytes of stable records not yet dispatched
+        #: to disk -- an O(1) drain trigger in place of re-summing the
+        #: pending tail on every append.  Full-size accounting is safe:
+        #: it can only fire the check *early*, and a non-forced drain
+        #: writes nothing unless a genuinely full page has formed.
+        self._undrained_full_bytes = 0
         self.committed_count = 0
         self.bytes_appended = 0
         self.bytes_written_to_disk = 0
+        # Group-commit statistics (the Section 5.2 batching, measured).
+        self.groups_sealed = 0
+        self._group_records_total = 0
+        self._group_bytes_total = 0
+        self._group_commits_total = 0
+        self.flush_reasons: Dict[str, int] = {}
+        self.compression_savings_bytes = 0
         #: Records durable on the disk log OR in stable memory, in LSN
         #: order -- what restart recovery reads.
         self._durable_records: List[LogRecord] = []
@@ -134,8 +169,8 @@ class LogManager:
         self._next_group += 1
         return gid
 
-    def _new_open_group(self) -> _CommitGroup:
-        group = _CommitGroup(group_id=self._alloc_group())
+    def _new_open_group(self, stream: int = 0) -> _CommitGroup:
+        group = _CommitGroup(group_id=self._alloc_group(), stream=stream)
         self._groups[group.group_id] = group
         return group
 
@@ -163,13 +198,14 @@ class LogManager:
         if self.policy is CommitPolicy.STABLE:
             assert self.stable is not None
             self.stable.append_record(record, self.sizing)
+            self._undrained_full_bytes += record.size(self.sizing)
             self._maybe_drain_stable()
             return record.lsn
 
         size = record.size(self.sizing)
         stream = self._stream_of(record.tid)
         if self._open_groups[stream].bytes_used + size > self.sizing.page_bytes:
-            self._seal_open_group(stream)
+            self._seal_open_group(stream, reason="fill")
         group = self._open_groups[stream]
         group.records.append(record)
         group.bytes_used += size
@@ -214,17 +250,20 @@ class LogManager:
                 continue
             dep_group = self._groups.get(dep_gid)
             if dep_group is not None and not dep_group.sealed:
-                self._seal_open_group(self._open_groups.index(dep_group))
+                self._seal_open_group(dep_group.stream, reason="dependency")
             group.depends_on.add(dep_gid)
 
         if self.policy is CommitPolicy.CONVENTIONAL:
             # Force the log: the page goes out now, mostly empty.
-            self._seal_open_group(self._stream_of(tid))
+            self._seal_open_group(self._stream_of(tid), reason="force")
         elif group.bytes_used >= self.sizing.page_bytes:
-            self._seal_open_group(self._stream_of(tid))
-        elif self.max_commit_delay is not None:
+            self._seal_open_group(self._stream_of(tid), reason="fill")
+        elif self.max_commit_delay is not None and not group.timer_armed:
             # Group-commit timer: make sure this commit's page goes out
-            # within the latency bound even if traffic stops.
+            # within the latency bound even if traffic stops.  One timer
+            # per group -- the first commit arms it; re-arming on every
+            # commit would only schedule no-op events behind it.
+            group.timer_armed = True
             gid = group.group_id
             self.queue.schedule(
                 self.max_commit_delay,
@@ -236,7 +275,7 @@ class LogManager:
     def _seal_if_still_open(self, group_id: int) -> None:
         for stream, group in enumerate(self._open_groups):
             if group.group_id == group_id and group.records:
-                self._seal_open_group(stream)
+                self._seal_open_group(stream, reason="timer")
                 return
 
     def append_abort(self, tid: int) -> int:
@@ -267,15 +306,50 @@ class LogManager:
             return
         for stream, group in enumerate(self._open_groups):
             if group.records:
-                self._seal_open_group(stream)
+                self._seal_open_group(stream, reason="flush")
+
+    def commit_barrier(self) -> int:
+        """Explicit barrier: seal every open group *now*, ahead of both the
+        fill and timer triggers (the third arm of the adaptive policy --
+        checkpointers and shutdown paths use it to bound what a crash can
+        strand in the buffer).  Returns how many non-empty groups sealed;
+        under the stable policy it instead forces a full drain."""
+        if self.policy is CommitPolicy.STABLE:
+            self._drain_stable(force=True)
+            return 0
+        sealed = 0
+        for stream, group in enumerate(self._open_groups):
+            if group.records:
+                self._seal_open_group(stream, reason="barrier")
+                sealed += 1
+        return sealed
 
     # -- group sealing and dispatch ---------------------------------------------------
 
-    def _seal_open_group(self, stream: int) -> None:
+    def _note_group(
+        self, reason: str, n_records: int, disk_bytes: int, n_commits: int
+    ) -> None:
+        self.groups_sealed += 1
+        self._group_records_total += n_records
+        self._group_bytes_total += disk_bytes
+        self._group_commits_total += n_commits
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    def _seal_open_group(self, stream: int, reason: str = "fill") -> None:
         group = self._open_groups[stream]
+        if group.records and self.fault_injector is not None:
+            # Mid-group crash point: the group is about to leave the
+            # buffer; a crash here strands exactly this page's records.
+            self.fault_injector.point(
+                "group seal g%d %s" % (group.group_id, reason)
+            )
         group.sealed = True
-        self._open_groups[stream] = self._new_open_group()
+        self._open_groups[stream] = self._new_open_group(stream)
         if group.records:
+            self._note_group(
+                reason, len(group.records), group.bytes_used,
+                len(group.commit_tids),
+            )
             self._parked.append(group.group_id)
             self._dispatch_ready()
         else:
@@ -304,11 +378,14 @@ class LogManager:
         self._parked = still_parked
 
     def _write_group(self, group: _CommitGroup) -> None:
-        device = self.log.least_busy()
+        if self.pipeline:
+            # Stream affinity: this stream's pages queue FIFO on its own
+            # device; other streams' groups flush concurrently on theirs.
+            device = self.log.device_for(group.stream)
+        else:
+            device = self.log.least_busy()
 
-        self.bytes_written_to_disk += sum(
-            r.size(self.sizing) for r in group.records
-        )
+        self.bytes_written_to_disk += group.bytes_used
 
         def complete(_page) -> None:
             self._durable_groups.add(group.group_id)
@@ -316,19 +393,28 @@ class LogManager:
             # horizon scan stays proportional to in-flight pages.
             self._groups.pop(group.group_id, None)
             self._durable_records.extend(group.records)
-            for tid in group.commit_tids:
-                self._mark_durable_tid(tid)
+            self._mark_durable_group(group.commit_tids)
             self._dispatch_ready()
 
         device.write_page(list(group.records), complete)
 
     def _mark_durable_tid(self, tid: int) -> None:
-        if tid in self.durable_tids:
+        self._mark_durable_group([tid])
+
+    def _mark_durable_group(self, tids: List[int]) -> None:
+        """The whole group's commits became durable at once: record them
+        and notify -- one batch callback when the engine installed one,
+        else one ``on_commit`` per tid (seed behaviour)."""
+        newly = [t for t in tids if t not in self.durable_tids]
+        if not newly:
             return
-        self.durable_tids.add(tid)
-        self.committed_count += 1
-        if self.on_commit is not None:
-            self.on_commit(tid)
+        self.durable_tids.update(newly)
+        self.committed_count += len(newly)
+        if self.on_commit_batch is not None:
+            self.on_commit_batch(newly)
+        elif self.on_commit is not None:
+            for tid in newly:
+                self.on_commit(tid)
 
     # -- stable-memory drain ------------------------------------------------------------
 
@@ -342,10 +428,9 @@ class LogManager:
         return record.size(self.sizing)
 
     def _maybe_drain_stable(self) -> None:
-        assert self.stable is not None
-        pending = self.stable.pending_records()[self._drain_cursor :]
-        disk_bytes = sum(self._record_disk_size(r) for r in pending)
-        if disk_bytes >= self.sizing.page_bytes:
+        # O(1) trigger: a full page cannot have formed while even the
+        # *uncompressed* undrained bytes are below one page.
+        if self._undrained_full_bytes >= self.sizing.page_bytes:
             self._drain_stable(force=False)
 
     def _drain_stable(self, force: bool) -> None:
@@ -354,29 +439,29 @@ class LogManager:
         Records stay in stable memory until the disk write *completes*
         (releasing them at dispatch would lose them to a crash that lands
         mid-write); ``_drain_cursor`` marks how many are already in
-        flight.
+        flight.  The whole undrained tail is encoded in one
+        :func:`~repro.recovery.records.pack_pages` pass -- compression
+        (Section 5.4, new values only for durably committed transactions)
+        is applied per group, not re-derived per record per poke.
         """
         assert self.stable is not None
-        while True:
-            pending = self.stable.pending_records()[self._drain_cursor :]
-            if not pending:
-                return
-            page_records: List[LogRecord] = []
-            used = 0
-            page_is_full = False
-            for record in pending:
-                size = self._record_disk_size(record)
-                if used + size > self.sizing.page_bytes:
-                    page_is_full = True  # next record spills to a new page
-                    break
-                page_records.append(record)
-                used += size
-            if not page_records:
-                return
-            if not page_is_full and not force:
+        compressible = self.durable_tids if self.compress else None
+        for page_records, used, closed in pack_pages(
+            self.stable.iter_pending(self._drain_cursor),
+            self.sizing,
+            compressible,
+        ):
+            if not closed and not force:
                 return  # wait for a full page's worth
+            full = sum(r.size(self.sizing) for r in page_records)
             self._drain_cursor += len(page_records)
+            self._undrained_full_bytes -= full
             self.bytes_written_to_disk += used
+            self.compression_savings_bytes += full - used
+            n_commits = sum(
+                1 for r in page_records if isinstance(r, CommitRecord)
+            )
+            self._note_group("drain", len(page_records), used, n_commits)
             durable = list(page_records)
 
             def complete(_page, records=durable) -> None:
@@ -448,6 +533,28 @@ class LogManager:
             "pages_written": self.log.pages_written,
             "bytes_appended": self.bytes_appended,
             "bytes_written_to_disk": self.bytes_written_to_disk,
+            "groups_sealed": self.groups_sealed,
+        }
+
+    def group_commit_stats(self) -> Dict[str, object]:
+        """The batching the adaptive flush policy actually achieved:
+        groups sealed, mean group size (records / bytes / commits), a
+        histogram of why each group left the buffer, and the bytes the
+        new-value-only compression fast path saved."""
+        sealed = self.groups_sealed
+        return {
+            "groups_sealed": sealed,
+            "mean_group_records": (
+                self._group_records_total / sealed if sealed else 0.0
+            ),
+            "mean_group_bytes": (
+                self._group_bytes_total / sealed if sealed else 0.0
+            ),
+            "mean_commits_per_group": (
+                self._group_commits_total / sealed if sealed else 0.0
+            ),
+            "flush_reasons": dict(self.flush_reasons),
+            "compression_savings_bytes": self.compression_savings_bytes,
         }
 
 

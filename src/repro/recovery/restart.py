@@ -23,6 +23,7 @@ trade-off.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -85,7 +86,17 @@ class CrashState:
 
 @dataclass
 class RecoveryOutcome:
-    """The recovered image plus the simulated cost of producing it."""
+    """The recovered image plus the simulated cost of producing it.
+
+    ``seconds`` is the deterministic simulated cost: the sequential
+    reload-and-replay time for one worker, or the straggler stream's
+    share of it when parallel redo spreads the partitioned log and the
+    snapshot pages over ``workers`` recovery streams (Section 5.5's
+    multi-disk restart).  Every other statistic -- values, counters,
+    committed set -- is identical for any worker count.
+    ``phase_seconds`` is measured wall-clock per phase: analysis
+    (validation, snapshot reload, bucketing), commit_resolution (winner
+    derivation from the durable log), undo, and redo."""
 
     state: DatabaseState
     seconds: float
@@ -94,6 +105,12 @@ class RecoveryOutcome:
     updates_redone: int
     updates_undone: int
     committed_tids: Set[int]
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    workers: int = 1
+    #: Pages whose snapshot copy already covered every logged update --
+    #: skipped in bulk by the parallel path (always 0 on the serial path,
+    #: which filters per record instead).
+    pages_skipped_clean: int = 0
 
 
 def crash(
@@ -120,17 +137,8 @@ def crash(
     )
 
 
-def recover(
-    crash_state: CrashState,
-    initial_value: object = 0,
-    use_dirty_page_table: bool = True,
-) -> RecoveryOutcome:
-    """Rebuild a consistent database image from the crash state."""
-    state = DatabaseState(
-        crash_state.n_records,
-        crash_state.records_per_page,
-        initial_value=initial_value,
-    )
+def _validate(crash_state: CrashState, state: DatabaseState) -> None:
+    """Reject structurally corrupt durable state (shared by both paths)."""
     for page_id in crash_state.snapshot.pages:
         if not 0 <= page_id < state.page_count:
             raise RecoveryError(
@@ -152,17 +160,116 @@ def recover(
                     record.record_id // crash_state.records_per_page,
                 )
             )
+
+
+def _redo_start(crash_state: CrashState, use_dirty_page_table: bool) -> int:
+    log = crash_state.durable_log
+    if use_dirty_page_table and crash_state.dirty_first_lsn:
+        return min(crash_state.dirty_first_lsn.values())
+    if use_dirty_page_table and not crash_state.dirty_first_lsn:
+        # Nothing dirty at crash time: the snapshot covers everything
+        # durable, so no redo is needed at all.
+        return len(log) and (log[-1].lsn + 1)
+    return 0
+
+
+def _simulated_seconds(
+    crash_state: CrashState,
+    scanned: int,
+    undone: int,
+    use_dirty_page_table: bool,
+    streams: int = 1,
+) -> float:
+    # The undo pass also reads the log (backwards); charge the full scan
+    # when the table is not in use, the bounded scan when it is.
+    #
+    # ``streams`` models Section 5.5's parallel restart: k recovery
+    # workers, each owning one log partition (the partitioned log keeps
+    # sealed groups on independent devices) and an equal share of the
+    # snapshot pages, reload and replay concurrently.  Every term of the
+    # sequential cost divides by k, rounded up to the straggler's share;
+    # one stream is exactly the sequential formula.
+    log = crash_state.durable_log
+    effective_scan = scanned if use_dirty_page_table else len(log)
+    log_bytes = sum(r.size(crash_state.sizing) for r in log[-effective_scan:] if effective_scan)
+    log_pages = (log_bytes + crash_state.sizing.page_bytes - 1) // crash_state.sizing.page_bytes
+    k = max(1, streams)
+    return (
+        -(-crash_state.snapshot.page_count // k) * PAGE_READ_TIME
+        + -(-log_pages // k) * PAGE_READ_TIME
+        + -(-(scanned + undone) // k) * RECORD_APPLY_TIME
+    )
+
+
+def recover(
+    crash_state: CrashState,
+    initial_value: object = 0,
+    use_dirty_page_table: bool = True,
+    workers: int = 1,
+    injector: object = None,
+    governor: object = None,
+) -> RecoveryOutcome:
+    """Rebuild a consistent database image from the crash state.
+
+    ``workers`` > 1 selects the batched parallel-redo path
+    (:mod:`repro.recovery.parallel_restart`): byte-identical image and
+    statistics, less wall-clock.  ``injector`` threads a chaos
+    :class:`~repro.chaos.FaultInjector` through the parallel path's
+    dispatch/merge seams.  ``governor`` (a
+    :class:`~repro.governor.Governor`) accounts the rebuilt image's pages
+    against the memory grant budget for the duration of the restart.
+    """
+    from repro.join.parallel import validate_workers
+
+    workers = validate_workers(workers)
+    page_count = (
+        crash_state.n_records + crash_state.records_per_page - 1
+    ) // crash_state.records_per_page
+    handle = None
+    if governor is not None:
+        handle = governor.admit(page_count, qid="restart")
+    try:
+        if workers > 1:
+            return _recover_batched(
+                crash_state, initial_value, use_dirty_page_table,
+                workers, injector,
+            )
+        return _recover_serial(crash_state, initial_value, use_dirty_page_table)
+    finally:
+        if handle is not None:
+            governor.release(handle)
+
+
+def _recover_serial(
+    crash_state: CrashState,
+    initial_value: object,
+    use_dirty_page_table: bool,
+) -> RecoveryOutcome:
+    """The record-at-a-time reference path (the seed implementation, with
+    wall-clock phase timers around the existing passes)."""
+    phases: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    state = DatabaseState(
+        crash_state.n_records,
+        crash_state.records_per_page,
+        initial_value=initial_value,
+    )
+    _validate(crash_state, state)
     crash_state.snapshot.load_into(state)
     snapshot_lsn = list(state.page_lsn)  # per-page LSN as of the snapshot
+    phases["analysis"] = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     committed = crash_state.committed_tids
     # Winners are redone; losers are undone.  A durably-aborted transaction
     # is a winner: its forward history (updates + compensations) nets to
     # identity, exactly like ARIES CLRs.
     winners = committed | crash_state.resolved_abort_tids
     log = crash_state.durable_log
+    phases["commit_resolution"] = time.perf_counter() - t0
 
     # ---- undo pass: strip loser updates the fuzzy snapshot absorbed. ----
+    t0 = time.perf_counter()
     undone = 0
     for record in reversed(log):
         if not isinstance(record, UpdateRecord) or record.tid in winners:
@@ -171,16 +278,11 @@ def recover(
         if record.lsn <= snapshot_lsn[page]:
             state.values[record.record_id] = record.old_value
             undone += 1
+    phases["undo"] = time.perf_counter() - t0
 
     # ---- redo pass: reapply committed work missing from the snapshot. ----
-    redo_start = 0
-    if use_dirty_page_table and crash_state.dirty_first_lsn:
-        redo_start = min(crash_state.dirty_first_lsn.values())
-    elif use_dirty_page_table and not crash_state.dirty_first_lsn:
-        # Nothing dirty at crash time: the snapshot covers everything
-        # durable, so no redo is needed at all.
-        redo_start = len(log) and (log[-1].lsn + 1)
-
+    t0 = time.perf_counter()
+    redo_start = _redo_start(crash_state, use_dirty_page_table)
     scanned = 0
     redone = 0
     for record in log:
@@ -194,26 +296,81 @@ def recover(
             state.values[record.record_id] = record.new_value
             state.page_lsn[page] = record.lsn
             redone += 1
-
-    # The undo pass also reads the log (backwards); charge the full scan
-    # when the table is not in use, the bounded scan when it is.
-    effective_scan = scanned if use_dirty_page_table else len(log)
-    log_bytes = sum(r.size(crash_state.sizing) for r in log[-effective_scan:] if effective_scan)
-    log_pages = (log_bytes + crash_state.sizing.page_bytes - 1) // crash_state.sizing.page_bytes
-    seconds = (
-        crash_state.snapshot.page_count * PAGE_READ_TIME
-        + log_pages * PAGE_READ_TIME
-        + (scanned + undone) * RECORD_APPLY_TIME
-    )
+    phases["redo"] = time.perf_counter() - t0
 
     return RecoveryOutcome(
         state=state,
-        seconds=seconds,
+        seconds=_simulated_seconds(
+            crash_state, scanned, undone, use_dirty_page_table
+        ),
         pages_reloaded=crash_state.snapshot.page_count,
         log_records_scanned=scanned,
         updates_redone=redone,
         updates_undone=undone,
         committed_tids=committed,
+        phase_seconds=phases,
+        workers=1,
+    )
+
+
+def _recover_batched(
+    crash_state: CrashState,
+    initial_value: object,
+    use_dirty_page_table: bool,
+    workers: int,
+    injector: object,
+) -> RecoveryOutcome:
+    """The page-partitioned path: same contract, batched execution."""
+    from repro.recovery.parallel_restart import parallel_redo
+
+    phases: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    state = DatabaseState(
+        crash_state.n_records,
+        crash_state.records_per_page,
+        initial_value=initial_value,
+    )
+    _validate(crash_state, state)
+    crash_state.snapshot.load_into(state)
+    snapshot_lsn = list(state.page_lsn)
+    redo_start = _redo_start(crash_state, use_dirty_page_table)
+    phases["analysis"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    committed = crash_state.committed_tids
+    winners = committed | crash_state.resolved_abort_tids
+    phases["commit_resolution"] = time.perf_counter() - t0
+
+    # Undo and redo are fused in the page workers (per page: undo
+    # backward, then redo forward -- the serial rules exactly); both
+    # phases' wall-clock therefore lands under "redo", and "undo" is 0.
+    t0 = time.perf_counter()
+    scanned, redone, undone, skipped = parallel_redo(
+        state,
+        crash_state.durable_log,
+        winners,
+        snapshot_lsn,
+        redo_start,
+        workers,
+        injector=injector,
+    )
+    phases["undo"] = 0.0
+    phases["redo"] = time.perf_counter() - t0
+
+    return RecoveryOutcome(
+        state=state,
+        seconds=_simulated_seconds(
+            crash_state, scanned, undone, use_dirty_page_table,
+            streams=workers,
+        ),
+        pages_reloaded=crash_state.snapshot.page_count,
+        log_records_scanned=scanned,
+        updates_redone=redone,
+        updates_undone=undone,
+        committed_tids=committed,
+        phase_seconds=phases,
+        workers=workers,
+        pages_skipped_clean=skipped,
     )
 
 

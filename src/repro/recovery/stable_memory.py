@@ -20,7 +20,8 @@ written to disk").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.recovery.records import LogRecord, RecordSizing, DEFAULT_SIZING
 
@@ -78,6 +79,16 @@ class StableMemory:
     def pending_records(self) -> List[LogRecord]:
         """Records not yet drained, oldest first (crash-surviving)."""
         return list(self._records)
+
+    def pending_count(self) -> int:
+        """How many records are held, without copying the list."""
+        return len(self._records)
+
+    def iter_pending(self, start: int = 0) -> Iterator[LogRecord]:
+        """Iterate records from index ``start``, oldest first, without
+        materialising a copy -- the drain's batch fast path.  The caller
+        must not append or release while iterating."""
+        return islice(self._records, start, None)
 
     def release_records(
         self, count: int, sizing: RecordSizing = DEFAULT_SIZING

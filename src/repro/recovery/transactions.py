@@ -102,10 +102,16 @@ class TransactionEngine:
         #: Optional multi-version read layer (repro.recovery.versioning).
         self.versions = None
 
-        # The log manager reports durable commits back to us.
-        previous = self.log.on_commit
-        assert previous is None, "log manager already has a commit listener"
-        self.log.on_commit = self._on_durable_commit
+        # The log manager reports durable commits back to us, a whole
+        # commit group per callback: the engine finalizes a page of
+        # transactions per durable page write.
+        assert self.log.on_commit is None, (
+            "log manager already has a commit listener"
+        )
+        assert self.log.on_commit_batch is None, (
+            "log manager already has a batch commit listener"
+        )
+        self.log.on_commit_batch = self._on_durable_commit_batch
 
     # -- submission ------------------------------------------------------------------
 
@@ -215,20 +221,40 @@ class TransactionEngine:
         self._resume_granted(granted)
 
     def _on_durable_commit(self, tid: int) -> None:
-        txn = self.transactions.get(tid)
-        if txn is None:
-            return
-        if tid in self._in_precommit:
-            # Synchronous durability (stable memory): finish pre-commit
-            # first, then complete.
-            self._early_durable.add(tid)
-            return
-        self._complete_commit(txn)
+        self._on_durable_commit_batch([tid])
 
-    def _complete_commit(self, txn: Transaction) -> None:
+    def _on_durable_commit_batch(self, tids: Sequence[int]) -> None:
+        """A durable commit group: complete its transactions together.
+
+        Lock finalization is batched -- one
+        :meth:`~repro.recovery.lock_table.LockTable.finalize_batch` pass
+        over the whole group instead of one table walk per transaction.
+        Completion callbacks still fire per transaction, in commit order.
+        """
+        ready: List[Transaction] = []
+        for tid in tids:
+            txn = self.transactions.get(tid)
+            if txn is None:
+                continue
+            if tid in self._in_precommit:
+                # Synchronous durability (stable memory): finish
+                # pre-commit first, then complete.
+                self._early_durable.add(tid)
+                continue
+            ready.append(txn)
+        if not ready:
+            return
+        self.locks.finalize_batch([t.tid for t in ready])
+        for txn in ready:
+            self._complete_commit(txn, finalized=True)
+
+    def _complete_commit(
+        self, txn: Transaction, finalized: bool = False
+    ) -> None:
         txn.state = TransactionState.COMMITTED
         txn.committed_at = self.queue.clock.now
-        self.locks.finalize(txn.tid)
+        if not finalized:
+            self.locks.finalize(txn.tid)
         self.committed.append(txn)
         if self.on_committed is not None:
             self.on_committed(txn)

@@ -1,0 +1,131 @@
+"""Crash sweeps over the batched restart path (parallel partitioned redo).
+
+The sweeps in ``test_crash_sweep.py`` verify the serial recovery contract
+at every crash point.  This file turns on the opt-in seventh invariant:
+after each crash, recovering the same state through the parallel
+partitioned-log path must reproduce the serial image, page LSNs,
+committed set, and counters exactly.  It also drives the two seams the
+parallel path adds -- the mid-group seal point in the log manager and the
+partition-dispatch/merge points inside redo itself -- and confirms that a
+crash *during* parallel redo just means running recovery again.
+"""
+
+import pytest
+
+from repro.chaos import (
+    FaultInjector,
+    ScenarioConfig,
+    capture,
+    exhaustive_sweep,
+    profile_points,
+    run_scenario,
+    seeded_sweep,
+)
+from repro.chaos.injector import CrashSignal
+from repro.recovery.log_manager import CommitPolicy
+from repro.recovery.restart import recover
+
+STACKS = [
+    pytest.param(CommitPolicy.GROUP, 1, id="group"),
+    pytest.param(CommitPolicy.GROUP, 3, id="group-3dev"),
+    pytest.param(CommitPolicy.STABLE, 1, id="stable"),
+]
+
+
+def config_for(policy, devices, **overrides):
+    return ScenarioConfig(policy=policy, devices=devices, **overrides)
+
+
+class TestParallelRedoSweep:
+    @pytest.mark.parametrize("policy,devices", STACKS)
+    def test_every_crash_point_parallel_equivalent(self, policy, devices):
+        """The acceptance sweep with the parallel-redo invariant armed:
+        at every crash point, four workers recover the identical state."""
+        config = config_for(policy, devices)
+        report = exhaustive_sweep(config, redo_workers=4)
+        assert report.ok, report.summary()
+        assert report.crashes == report.total_points > 0
+        # The base six invariants plus parallel-redo equivalence.
+        assert report.invariants_checked == 7 * report.crashes
+
+    def test_seeded_schedules_parallel_equivalent(self, chaos_seeds):
+        """Random fault schedules (slow writes, torn pages, dropped
+        checkpoint installs) with the parallel-redo invariant armed."""
+        config = config_for(CommitPolicy.GROUP, 1)
+        report = seeded_sweep(config, chaos_seeds, redo_workers=4)
+        assert report.ok, report.summary()
+        assert report.runs == len(chaos_seeds)
+
+
+class TestGroupSealSeam:
+    def test_mid_group_seal_points_are_schedulable(self):
+        """The adaptive flush policy's seal is a numbered crash point:
+        sweeping the point space must land crashes exactly there, with the
+        group id and flush reason in the label."""
+        config = config_for(CommitPolicy.GROUP, 1)
+        points = profile_points(config)
+        seal_labels = []
+        for point in range(points):
+            run = run_scenario(config, FaultInjector.crash_at(point))
+            if run.crashed and "group seal" in run.injector.trace[-1]:
+                seal_labels.append(run.injector.trace[-1])
+        assert seal_labels, "no crash point landed on a group seal"
+        assert all(label.split()[2].startswith("g") for label in seal_labels)
+        reasons = {label.split()[3] for label in seal_labels}
+        assert reasons <= {"fill", "timer", "barrier", "force", "flush",
+                           "dependency", "drain"}
+
+
+class TestMidRedoCrash:
+    def mid_run_crash_state(self):
+        config = config_for(CommitPolicy.GROUP, 1)
+        points = profile_points(config)
+        run = run_scenario(config, FaultInjector.crash_at(points // 2))
+        assert run.crashed
+        return config, capture(run)
+
+    def test_crash_during_parallel_redo_then_rerun(self):
+        """A crash on a partition-dispatch seam aborts the restart; the
+        durable state is untouched, so a clean re-run (serial or parallel)
+        recovers exactly what an undisturbed recovery would have."""
+        config, crash_state = self.mid_run_crash_state()
+        serial = recover(crash_state, initial_value=config.initial_balance)
+        assert serial.log_records_scanned > 0  # real redo work exists
+        injector = FaultInjector.crash_at(0)
+        with pytest.raises(CrashSignal):
+            recover(
+                crash_state,
+                initial_value=config.initial_balance,
+                workers=4,
+                injector=injector,
+            )
+        assert injector.trace[-1] == "redo partition 0 dispatch"
+        rerun = recover(
+            crash_state, initial_value=config.initial_balance, workers=4
+        )
+        assert rerun.state.values == serial.state.values
+        assert rerun.committed_tids == serial.committed_tids
+        assert rerun.updates_redone == serial.updates_redone
+
+    def test_merge_seam_is_schedulable(self):
+        """Crash points cover the coordinator merge too -- the last
+        instant a restart can die with partitions replayed but the
+        outcome unpublished."""
+        config, crash_state = self.mid_run_crash_state()
+        labels = []
+        point = 0
+        while True:
+            injector = FaultInjector.crash_at(point)
+            try:
+                recover(
+                    crash_state,
+                    initial_value=config.initial_balance,
+                    workers=4,
+                    injector=injector,
+                )
+                break  # point beyond the last seam: recovery completed
+            except CrashSignal:
+                labels.append(injector.trace[-1])
+                point += 1
+        assert labels[-1] == "parallel redo merge"
+        assert any(label.startswith("redo partition") for label in labels)

@@ -150,3 +150,98 @@ class TestIntrospection:
         assert table.holders("nope") == {}
         assert table.waiters("nope") == []
         assert table.precommitted("nope") == set()
+
+
+class TestBatchedPrecommit:
+    """precommit_batch / finalize_batch must be observationally identical
+    to looping the single-transaction calls -- same grants, same
+    dependency edges, same final table state."""
+
+    def mirrored(self, script):
+        """Run ``script`` (a list of acquire specs) on two tables."""
+        a, b = LockTable(), LockTable()
+        for tid, obj, mode in script:
+            a.acquire(tid, obj, mode)
+            b.acquire(tid, obj, mode)
+        return a, b
+
+    def snapshot(self, table, objs):
+        return {
+            obj: (
+                table.holders(obj),
+                table.waiters(obj),
+                table.precommitted(obj),
+            )
+            for obj in objs
+        }
+
+    def test_batch_matches_sequential_precommit(self):
+        script = [
+            (1, "x", LockMode.EXCLUSIVE),
+            (2, "y", LockMode.EXCLUSIVE),
+            (3, "x", LockMode.EXCLUSIVE),  # waits on 1
+            (3, "y", LockMode.SHARED),  # waits on 2
+            (4, "x", LockMode.SHARED),  # waits behind 3
+        ]
+        batched, sequential = self.mirrored(script)
+        batch_notices = batched.precommit_batch([1, 2])
+        seq_notices = []
+        for tid in (1, 2):
+            seq_notices.extend(sequential.precommit(tid))
+        assert {
+            (n.tid, n.obj, tuple(sorted(n.dependencies)))
+            for n in batch_notices
+        } == {
+            (n.tid, n.obj, tuple(sorted(n.dependencies)))
+            for n in seq_notices
+        }
+        assert self.snapshot(batched, ["x", "y"]) == self.snapshot(
+            sequential, ["x", "y"]
+        )
+
+    def test_waiter_behind_two_batch_members(self):
+        """A waiter blocked behind two members of the same commit group is
+        granted in the single promotion sweep, depending on both."""
+        table = LockTable()
+        table.acquire(1, "x", LockMode.SHARED)
+        table.acquire(2, "x", LockMode.SHARED)
+        table.acquire(3, "x", LockMode.EXCLUSIVE)  # waits on both sharers
+        notices = table.precommit_batch([1, 2])
+        assert len(notices) == 1
+        assert notices[0].tid == 3
+        assert set(notices[0].dependencies) == {1, 2}
+        assert table.holders("x") == {3: LockMode.EXCLUSIVE}
+
+    def test_single_tid_batch_is_precommit(self):
+        batched, single = self.mirrored(
+            [(1, "x", LockMode.EXCLUSIVE), (2, "x", LockMode.EXCLUSIVE)]
+        )
+        bn = batched.precommit_batch([1])
+        sn = single.precommit(1)
+        assert [(n.tid, tuple(n.dependencies)) for n in bn] == [
+            (n.tid, tuple(n.dependencies)) for n in sn
+        ]
+
+    def test_finalize_batch_matches_loop(self):
+        batched, sequential = self.mirrored(
+            [
+                (1, "x", LockMode.EXCLUSIVE),
+                (2, "y", LockMode.EXCLUSIVE),
+                (3, "z", LockMode.SHARED),
+            ]
+        )
+        for table in (batched, sequential):
+            table.precommit_batch([1, 2, 3])
+        batched.finalize_batch([1, 2])
+        sequential.finalize(1)
+        sequential.finalize(2)
+        assert self.snapshot(batched, ["x", "y", "z"]) == self.snapshot(
+            sequential, ["x", "y", "z"]
+        )
+        assert len(batched) == len(sequential) == 1  # tid 3 still parked
+
+    def test_empty_batch_is_noop(self, table):
+        table.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert table.precommit_batch([]) == []
+        table.finalize_batch([])
+        assert table.holders("x") == {1: LockMode.EXCLUSIVE}

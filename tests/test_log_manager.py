@@ -225,3 +225,100 @@ class TestDurableLog:
         lm = manager(queue, CommitPolicy.STABLE)
         typical_txn(lm, 1)
         assert lm.durable_lsn_horizon() == lm.next_lsn() - 1
+
+
+class TestAdaptiveFlushRaces:
+    """The three arms of the adaptive flush policy -- group fill, latency
+    timer, explicit barrier -- racing each other, including on the exact
+    same simulated tick."""
+
+    def test_fill_preempts_timer(self, queue):
+        """Nine transactions overflow the page before the timer fires: the
+        full group seals on fill, only the straggler waits for the timer."""
+        lm = manager(queue, max_commit_delay=0.05)
+        for tid in range(9):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        assert lm.committed_count == 9
+        assert lm.groups_sealed == 2
+        assert lm.group_commit_stats()["flush_reasons"] == {
+            "fill": 1,
+            "timer": 1,
+        }
+
+    def test_timer_flushes_idle_group(self, queue):
+        """A lone commit with no follow-on traffic goes out at the latency
+        bound, not never."""
+        lm = manager(queue, max_commit_delay=0.05)
+        typical_txn(lm, 1)
+        queue.run_to_completion()
+        assert lm.committed_count == 1
+        assert lm.group_commit_stats()["flush_reasons"] == {"timer": 1}
+        # Sealed at the 50 ms bound, durable one page write later.
+        assert queue.clock.now == pytest.approx(0.060)
+
+    def test_barrier_preempts_timer(self, queue):
+        """An explicit barrier seals ahead of the armed timer; the timer
+        callback later finds the group gone and does nothing."""
+        lm = manager(queue, max_commit_delay=0.05)
+        typical_txn(lm, 1)
+        assert lm.commit_barrier() == 1
+        queue.run_to_completion()
+        assert lm.committed_count == 1
+        assert lm.group_commit_stats()["flush_reasons"] == {"barrier": 1}
+
+    def test_barrier_on_empty_buffer(self, queue):
+        lm = manager(queue, max_commit_delay=0.05)
+        assert lm.commit_barrier() == 0
+        queue.run_to_completion()
+        assert lm.groups_sealed == 0
+
+    def test_same_tick_fill_beats_timer(self, queue):
+        """A burst landing on the timer's exact tick: the burst event was
+        inserted first, so it runs first, the group seals on fill, and the
+        timer callback is a no-op.  Had the timer won, the 3776-byte burst
+        would never overflow and both groups would seal on timers."""
+        lm = manager(queue, max_commit_delay=0.05)
+        queue.schedule(
+            0.05,
+            lambda: [typical_txn(lm, t) for t in range(2, 10)],
+            label="burst",
+        )
+        queue.schedule(0.0, lambda: typical_txn(lm, 1), label="first txn")
+        queue.run_to_completion()
+        assert lm.committed_count == 9
+        assert lm.group_commit_stats()["flush_reasons"] == {
+            "fill": 1,
+            "timer": 1,
+        }
+
+    def test_conventional_forces_despite_timer(self, queue):
+        """The conventional policy forces every commit; the timer knob is
+        inert because no group ever lives long enough to arm one."""
+        lm = manager(queue, CommitPolicy.CONVENTIONAL, max_commit_delay=0.05)
+        typical_txn(lm, 1)
+        typical_txn(lm, 2)
+        queue.run_to_completion()
+        assert lm.group_commit_stats()["flush_reasons"] == {"force": 2}
+
+    def test_stable_barrier_is_forced_drain(self, queue):
+        lm = manager(queue, CommitPolicy.STABLE)
+        typical_txn(lm, 1)
+        assert lm.commit_barrier() == 0  # stable: no groups, just a drain
+        queue.run_to_completion()
+        reasons = lm.group_commit_stats()["flush_reasons"]
+        assert set(reasons) == {"drain"}
+        assert lm.committed_count == 1
+
+    def test_group_commit_stats_shape(self, queue):
+        lm = manager(queue, max_commit_delay=0.05)
+        for tid in range(9):
+            typical_txn(lm, tid)
+        queue.run_to_completion()
+        stats = lm.group_commit_stats()
+        assert stats["groups_sealed"] == 2
+        # 9 transactions x 5 records over 2 groups.
+        assert stats["mean_group_records"] == pytest.approx(22.5)
+        assert stats["mean_commits_per_group"] == pytest.approx(4.5)
+        assert stats["mean_group_bytes"] > 0
+        assert stats["compression_savings_bytes"] == 0
