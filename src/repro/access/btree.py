@@ -20,6 +20,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
+from repro.errors import ConfigurationError
 
 DEFAULT_ORDER = 64
 
@@ -71,7 +72,7 @@ class BPlusTree(Index):
         if page_bytes is not None:
             order = page_bytes // (key_bytes + pointer_bytes)
         if order < 3:
-            raise ValueError("B+-tree order must be at least 3")
+            raise ConfigurationError("B+-tree order must be at least 3")
         self.order = order
         self.counters = counters if counters is not None else OperationCounters()
         self._next_node_id = 0

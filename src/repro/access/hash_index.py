@@ -18,6 +18,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
+from repro.errors import ConfigurationError
 
 
 class HashIndex(Index):
@@ -30,9 +31,9 @@ class HashIndex(Index):
         max_load: float = 1.2,
     ) -> None:
         if initial_buckets < 1:
-            raise ValueError("need at least one bucket")
+            raise ConfigurationError("need at least one bucket")
         if max_load <= 0:
-            raise ValueError("max load factor must be positive")
+            raise ConfigurationError("max load factor must be positive")
         self.counters = counters if counters is not None else OperationCounters()
         self.max_load = max_load
         self._buckets: List[List[Tuple[Any, List[Any]]]] = [

@@ -16,6 +16,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
+from repro.errors import ConfigurationError
 
 
 class _PNode:
@@ -38,7 +39,7 @@ class PagedBinaryTree(Index):
         counters: Optional[OperationCounters] = None,
     ) -> None:
         if nodes_per_page < 1:
-            raise ValueError("need at least one node per page")
+            raise ConfigurationError("need at least one node per page")
         self.nodes_per_page = nodes_per_page
         self.counters = counters if counters is not None else OperationCounters()
         self._root: Optional[_PNode] = None

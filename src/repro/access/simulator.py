@@ -23,6 +23,7 @@ from repro.access.avl import AVLTree
 from repro.access.btree import BPlusTree
 from repro.cost.access_model import AccessMethodParameters
 from repro.storage.buffer import BufferPool, ReplacementPolicy
+from repro.errors import ConfigurationError
 
 PagedIndex = Union[AVLTree, BPlusTree]
 
@@ -74,7 +75,7 @@ class AccessSimulator:
     ) -> AccessMeasurement:
         """Steady-state cost of random lookups at a residence fraction."""
         if not keys:
-            raise ValueError("need at least one key to probe")
+            raise ConfigurationError("need at least one key to probe")
         frames = max(1, int(resident_fraction * self.total_pages))
         pool = BufferPool(frames, policy=self.policy, seed=self.seed)
         rng = random.Random(self.seed + 1)

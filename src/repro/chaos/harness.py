@@ -36,6 +36,7 @@ from repro.recovery.transactions import TransactionEngine, TransactionState
 from repro.sim.clock import SimulatedClock
 from repro.sim.events import EventQueue
 from repro.workload.banking import BankingWorkload
+from repro.errors import StateError
 
 
 @dataclass(frozen=True)
@@ -246,7 +247,7 @@ def profile_points(config: ScenarioConfig) -> int:
     """Count the scenario's schedulable points with a fault-free run."""
     run = run_scenario(config, FaultInjector.counting())
     if run.crashed:
-        raise RuntimeError("profiling run crashed without a fault plan")
+        raise StateError("profiling run crashed without a fault plan")
     laggards = [
         tid
         for tid, t in run.engine.transactions.items()
@@ -254,7 +255,7 @@ def profile_points(config: ScenarioConfig) -> int:
         not in (TransactionState.COMMITTED, TransactionState.ABORTED)
     ]
     if laggards:
-        raise RuntimeError(
+        raise StateError(
             "profiling run left transactions unresolved: %s -- raise "
             "ScenarioConfig.settle" % laggards
         )

@@ -42,7 +42,9 @@ from typing import Dict, List, Optional, Tuple
 WORKER_FAULT_KINDS = ("kill", "hang", "garble")
 
 
-class CrashSignal(Exception):
+# Deliberately NOT a ReproError: a crash signal must never be swallowed by
+# an `except ReproError` recovery path -- only the harness may catch it.
+class CrashSignal(Exception):  # repro-lint: disable=exception-base
     """Raised at an injected crash point to freeze the simulation.
 
     Carries the point index and label so failures replay exactly.  The

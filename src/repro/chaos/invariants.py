@@ -34,12 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import ReproError
+
 from repro.chaos.oracle import ShadowDatabase
 from repro.recovery.records import CommitRecord
 from repro.recovery.restart import CrashState, RecoveryOutcome, recover, replay_committed
 
 
-class InvariantViolation(AssertionError):
+class InvariantViolation(ReproError, AssertionError):
     """One recovery invariant failed; carries the name and the evidence."""
 
     def __init__(self, invariant: str, detail: str) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.recovery.state import DatabaseState
+from repro.errors import ConfigurationError
 
 
 class ShadowDatabase:
@@ -47,7 +48,7 @@ class ShadowDatabase:
             elif kind == "pause":
                 continue
             else:
-                raise ValueError("unknown operation %r" % (kind,))
+                raise ConfigurationError("unknown operation %r" % (kind,))
 
     def replay(
         self,

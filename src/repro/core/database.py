@@ -38,6 +38,7 @@ from repro.planner.reuse import PlanReuseCache
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.storage.tuples import DataType, Field, Schema
+from repro.errors import ConfigurationError, StateError
 
 _INDEX_KINDS = {
     "btree": BPlusTree,
@@ -167,7 +168,7 @@ class MainMemoryDatabase:
         try:
             factory = _INDEX_KINDS[kind]
         except KeyError:
-            raise ValueError(
+            raise ConfigurationError(
                 "unknown index kind %r (choose from %s)"
                 % (kind, sorted(_INDEX_KINDS))
             ) from None
@@ -402,7 +403,7 @@ class MainMemoryDatabase:
         from repro.recovery.restart import crash, recover
 
         if self._recovery is None:
-            raise RuntimeError(
+            raise StateError(
                 "no durability stack attached: call build_recovery() first"
             )
         _, _, _, engine, checkpointer = self._recovery

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -53,18 +54,18 @@ class AccessMethodParameters:
 
     def __post_init__(self) -> None:
         if self.n_tuples < 1:
-            raise ValueError("relation must contain at least one tuple")
+            raise ConfigurationError("relation must contain at least one tuple")
         if self.tuple_bytes < self.key_bytes:
-            raise ValueError("tuple width must be at least the key width")
+            raise ConfigurationError("tuple width must be at least the key width")
         if not 0 < self.btree_fill <= 1:
-            raise ValueError("btree fill factor must be in (0, 1]")
+            raise ConfigurationError("btree fill factor must be in (0, 1]")
         if self.y <= 0 or self.y > 1:
-            raise ValueError("Y must be in (0, 1] -- AVL comparisons are "
+            raise ConfigurationError("Y must be in (0, 1] -- AVL comparisons are "
                              "at most as expensive as B+-tree comparisons")
         if self.z <= 0:
-            raise ValueError("Z must be positive")
+            raise ConfigurationError("Z must be positive")
         if self.page_bytes < self.tuple_bytes:
-            raise ValueError("a tuple must fit on one page")
+            raise ConfigurationError("a tuple must fit on one page")
 
 
 # ---------------------------------------------------------------------------
@@ -128,7 +129,7 @@ def btree_fanout(params: AccessMethodParameters) -> int:
         / (params.key_bytes + params.pointer_bytes)
     )
     if fanout < 2:
-        raise ValueError("page too small for a B+-tree index node")
+        raise ConfigurationError("page too small for a B+-tree index node")
     return fanout
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.cost.parameters import CostParameters
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class JoinWorkload:
 
     def __post_init__(self) -> None:
         if self.memory_pages < 1:
-            raise ValueError("need at least one page of memory")
+            raise ConfigurationError("need at least one page of memory")
 
     @property
     def memory_ratio(self) -> float:
@@ -44,7 +45,7 @@ class JoinWorkload:
 def _validate_two_pass(workload: JoinWorkload) -> None:
     p = workload.params
     if workload.memory_pages ** 2 < p.s_pages * p.fudge:
-        raise ValueError(
+        raise ConfigurationError(
             "two-pass algorithms need sqrt(|S|*F) <= |M|: "
             "|M|=%d, sqrt(|S|*F)=%.1f"
             % (workload.memory_pages, math.sqrt(p.s_pages * p.fudge))
@@ -204,7 +205,7 @@ def hybrid_partition_plan(workload: JoinWorkload) -> Tuple[int, float]:
     if table_pages <= m:
         return 0, 1.0
     if m < 2:
-        raise ValueError("hybrid hash needs at least 2 pages of memory")
+        raise ConfigurationError("hybrid hash needs at least 2 pages of memory")
     b = math.ceil((table_pages - m) / (m - 1))
     q = max(0.0, (m - b) / table_pages)
     return b, q

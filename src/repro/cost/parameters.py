@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Sequence, Tuple
+from repro.errors import ConfigurationError
 
 MICROSECOND = 1e-6
 MILLISECOND = 1e-3
@@ -53,17 +54,17 @@ class CostParameters:
 
     def __post_init__(self) -> None:
         if self.r_pages > self.s_pages:
-            raise ValueError(
+            raise ConfigurationError(
                 "the paper assumes |R| <= |S|; got |R|=%d > |S|=%d"
                 % (self.r_pages, self.s_pages)
             )
         if self.fudge < 1.0:
-            raise ValueError("fudge factor F must be >= 1.0")
+            raise ConfigurationError("fudge factor F must be >= 1.0")
         for name in ("comp", "hash", "move", "swap", "io_seq", "io_rand"):
             if getattr(self, name) <= 0:
-                raise ValueError("%s must be positive" % name)
+                raise ConfigurationError("%s must be positive" % name)
         if self.r_tuples_per_page <= 0 or self.s_tuples_per_page <= 0:
-            raise ValueError("tuples per page must be positive")
+            raise ConfigurationError("tuples per page must be positive")
 
     @property
     def r_tuples(self) -> int:
@@ -87,7 +88,7 @@ class CostParameters:
     def memory_for_ratio(self, ratio: float) -> int:
         """Convert Figure 1's x-axis ``|M| / (|R| * F)`` into pages."""
         if ratio <= 0:
-            raise ValueError("memory ratio must be positive")
+            raise ConfigurationError("memory ratio must be positive")
         return max(1, int(round(ratio * self.r_pages * self.fudge)))
 
     def with_updates(self, **changes: float) -> "CostParameters":
@@ -129,7 +130,7 @@ def table3_grid(points_per_axis: int = 2) -> Iterator[CostParameters]:
     40 tuples/page, and ``|R| <= |S|`` is enforced by clamping.
     """
     if points_per_axis < 2:
-        raise ValueError("need at least the two endpoints per axis")
+        raise ConfigurationError("need at least the two endpoints per axis")
 
     def axis(lo: float, hi: float) -> List[float]:
         step = (hi - lo) / (points_per_axis - 1)

@@ -12,6 +12,9 @@ single except clause while still distinguishing the families:
 * :class:`GovernorError` -- the resource governor's query-lifecycle
   errors: :class:`AdmissionRejected`, :class:`QueryTimeout`,
   :class:`QueryCancelled`, and :class:`WorkerPoolError`.
+* :class:`StateError` -- an internal invariant broke at run time (an
+  operation was applied to an object in the wrong state, or a bound the
+  algorithm relies on was exceeded).
 * :class:`repro.recovery.restart.RecoveryError` -- structurally
   inconsistent durable state found during restart recovery.
 
@@ -30,7 +33,11 @@ class ReproError(Exception):
 
 
 class ConfigurationError(ReproError, ValueError):
-    """An invalid configuration value (rejected at construction time)."""
+    """An invalid configuration or argument value the caller passed in."""
+
+
+class StateError(ReproError, RuntimeError):
+    """An internal invariant broke at run time (wrong state, bound hit)."""
 
 
 class PlannerError(ReproError, ValueError):
@@ -90,6 +97,7 @@ __all__ = [
     "QueryCancelled",
     "QueryTimeout",
     "ReproError",
+    "StateError",
     "UnplannableQueryError",
     "WorkerPoolError",
 ]

@@ -32,6 +32,7 @@ from repro.governor.breaker import CircuitBreaker
 from repro.governor.cancellation import CancellationToken
 from repro.governor.grant import MemoryGrant
 from repro.governor.guard import QueryGuard
+from repro.lint.runtime import tracked_lock
 
 
 @dataclass
@@ -96,7 +97,9 @@ class Governor:
     def __init__(self, config: Optional[GovernorConfig] = None) -> None:
         self.config = config or GovernorConfig()
         self.breaker = CircuitBreaker(self.config.breaker_threshold)
-        self._lock = threading.Lock()
+        # tracked_lock is the lock-order seam: a plain threading.Lock in
+        # production, a recorded TrackedLock under the test suite.
+        self._lock = tracked_lock("repro.governor.Governor._lock")
         self._capacity = threading.Condition(self._lock)
         self._qids = itertools.count(1)
         self._active: Dict[int, QueryHandle] = {}

@@ -26,7 +26,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.cost.counters import CostReport, OperationCounters
 from repro.cost.parameters import CostParameters
-from repro.errors import WorkerPoolError
+from repro.errors import ConfigurationError, WorkerPoolError
 from repro.join.parallel import (
     OK_SENTINEL,
     guarded_bucket_join_task,
@@ -59,7 +59,7 @@ class JoinSpec:
 
     def __post_init__(self) -> None:
         if self.memory_pages < 2:
-            raise ValueError("a join needs at least two pages of memory")
+            raise ConfigurationError("a join needs at least two pages of memory")
         if not self.r.schema.has_field(self.r_field):
             raise KeyError("R has no field %r" % self.r_field)
         if not self.s.schema.has_field(self.s_field):

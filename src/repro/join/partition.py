@@ -21,6 +21,7 @@ from repro.cost.counters import OperationCounters
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
+from repro.errors import ConfigurationError
 
 #: Salt so partition hashing is independent of Python's string hashing and
 #: of the bucket hashing inside HashIndex.
@@ -62,7 +63,7 @@ def partition_fan_out(
     if table_pages <= memory_pages:
         return 0, 1.0
     if memory_pages < 2:
-        raise ValueError("partitioning needs at least two pages of memory")
+        raise ConfigurationError("partitioning needs at least two pages of memory")
     b = math.ceil((table_pages - memory_pages) / (memory_pages - 1))
     q = max(0.0, (memory_pages - b) / table_pages)
     return b, q
@@ -176,10 +177,10 @@ def partition_relation(
     timed-out query stops partitioning within one page of work.
     """
     if buckets < 0:
-        raise ValueError("bucket count cannot be negative")
+        raise ConfigurationError("bucket count cannot be negative")
     total_classes = buckets + (1 if resident_bucket else 0)
     if total_classes == 0:
-        raise ValueError("partitioning into zero classes")
+        raise ConfigurationError("partitioning into zero classes")
 
     writer: Optional[SpillWriter] = None
     if buckets > 0:

@@ -18,6 +18,7 @@ from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.join.partition import partition_hash
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
+from repro.errors import StateError
 
 
 class SimpleHashJoin(JoinAlgorithm):
@@ -80,7 +81,7 @@ class SimpleHashJoin(JoinAlgorithm):
 
             if current == passes - 1:
                 if passed_r:
-                    raise RuntimeError(
+                    raise StateError(
                         "simple hash left %d R tuples unprocessed" % len(passed_r)
                     )
                 break
@@ -127,7 +128,7 @@ class SimpleHashJoin(JoinAlgorithm):
 
             if current == passes - 1:
                 if passed_r:
-                    raise RuntimeError(
+                    raise StateError(
                         "simple hash left %d R tuples unprocessed" % len(passed_r)
                     )
                 break

@@ -26,6 +26,7 @@ from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
+from repro.errors import ConfigurationError
 
 
 class _RunCursor:
@@ -208,7 +209,7 @@ class SortMergeJoin(JoinAlgorithm):
         r_runs = self._form_runs(spec, spec.r, spec.r_field, "r")
         s_runs = self._form_runs(spec, spec.s, spec.s_field, "s")
         if len(r_runs) + len(s_runs) > spec.memory_pages:
-            raise ValueError(
+            raise ConfigurationError(
                 "cannot merge %d runs with %d pages of memory; the paper "
                 "assumes sqrt(|S|*F) <= |M|"
                 % (len(r_runs) + len(s_runs), spec.memory_pages)

@@ -1,0 +1,39 @@
+"""repro.lint -- the AST-based invariant linter and lock-order analysis.
+
+Static half: ``python -m repro.lint`` walks ``src/repro`` and enforces the
+disciplines the analytic model rests on (determinism, counter discipline,
+error taxonomy, chaos-seam coverage, static lock order, public-API
+consistency).  Dynamic half: :mod:`repro.lint.runtime` records actual
+lock-acquisition order under the concurrency tests and asserts the same
+graph stays acyclic.  Rule catalog and suppression syntax: docs/LINTING.md.
+"""
+
+from repro.lint.engine import (
+    Checker,
+    Finding,
+    LintConfig,
+    run_lint,
+)
+from repro.lint.runtime import (
+    LockOrderRecorder,
+    LockOrderViolation,
+    TrackedLock,
+    current_recorder,
+    install_recorder,
+    tracked_lock,
+    uninstall_recorder,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "LockOrderRecorder",
+    "LockOrderViolation",
+    "TrackedLock",
+    "current_recorder",
+    "install_recorder",
+    "run_lint",
+    "tracked_lock",
+    "uninstall_recorder",
+]

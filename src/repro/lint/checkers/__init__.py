@@ -1,0 +1,37 @@
+"""The domain-specific checkers behind ``python -m repro.lint``.
+
+Each checker encodes one discipline the analytic reproduction depends on;
+docs/LINTING.md is the rule catalog.  To add a checker: subclass
+:class:`repro.lint.engine.Checker`, declare its ``rules`` dict, implement
+``check_module`` (per-file) and/or ``check_project`` (cross-file), and
+append the class to :data:`ALL_CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checkers.chaos_seams import ChaosSeamChecker
+from repro.lint.checkers.counter_discipline import CounterDisciplineChecker
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.error_taxonomy import ErrorTaxonomyChecker
+from repro.lint.checkers.lock_order import LockOrderChecker
+from repro.lint.checkers.public_api import PublicApiChecker
+
+#: Registration order is also report order for --list-rules.
+ALL_CHECKERS = [
+    DeterminismChecker,
+    CounterDisciplineChecker,
+    ErrorTaxonomyChecker,
+    ChaosSeamChecker,
+    LockOrderChecker,
+    PublicApiChecker,
+]
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ChaosSeamChecker",
+    "CounterDisciplineChecker",
+    "DeterminismChecker",
+    "ErrorTaxonomyChecker",
+    "LockOrderChecker",
+    "PublicApiChecker",
+]

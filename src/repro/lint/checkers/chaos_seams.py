@@ -1,0 +1,139 @@
+"""Chaos-seam coverage checker.
+
+The crash-sweep guarantee ("recovery survives a crash at *any* point") is
+only as strong as the set of schedulable points, so every I/O-performing
+method on the durable-state classes must route through a
+:class:`~repro.chaos.FaultInjector` seam.  A new ``flush``/``write``/
+``install`` method added without a seam silently shrinks the sweep space
+-- exactly the regression this checker exists to catch.
+
+A method counts as covered when its body references one of the class's
+seam attributes (``self.fault_injector`` / ``self.on_append``) directly,
+or when it calls -- transitively, within the class -- a method that does
+(dispatch helpers inherit coverage from the seam-carrying worker they
+delegate to).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from repro.lint.engine import Checker, Finding, LintConfig, SourceModule
+from repro.lint.checkers.common import finding
+
+RULE = "chaos-seam"
+
+
+class ChaosSeamChecker(Checker):
+    rules = {
+        RULE: (
+            "I/O-performing methods on durable-state classes must carry "
+            "a FaultInjector seam"
+        )
+    }
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in config.seam_classes
+            ):
+                yield from self._check_class(module, node, config)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef, config: LintConfig
+    ) -> Iterable[Finding]:
+        seams = config.seam_classes[cls.name]
+        methods: Dict[str, ast.FunctionDef] = {
+            n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+        }
+        init = methods.get("__init__")
+        if init is None or not any(
+            _defines_attr(init, seam) for seam in seams
+        ):
+            yield finding(
+                module,
+                RULE,
+                cls,
+                "%s.__init__ must define a chaos seam attribute (%s)"
+                % (cls.name, " or ".join("self.%s" % s for s in seams)),
+            )
+            return
+        covered = {
+            name
+            for name, func in methods.items()
+            if any(_references_attr(func, seam) for seam in seams)
+        }
+        calls = {
+            name: _self_calls(func) for name, func in methods.items()
+        }
+        # Fixpoint: a method is covered if it calls a covered method.
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name not in covered and callees & covered:
+                    covered.add(name)
+                    changed = True
+        for name, func in methods.items():
+            if name == "__init__" or name in covered:
+                continue
+            segments = set(name.strip("_").split("_"))
+            if segments & set(config.seam_verbs):
+                yield finding(
+                    module,
+                    RULE,
+                    func,
+                    "%s.%s performs I/O but never references a chaos "
+                    "seam (%s); crash sweeps cannot land inside it"
+                    % (
+                        cls.name,
+                        name,
+                        " or ".join("self.%s" % s for s in seams),
+                    ),
+                )
+
+
+def _defines_attr(func: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == attr
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def _references_attr(func: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _self_calls(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and (
+            isinstance(node.value, ast.Name) and node.value.id == "self"
+        ):
+            names.add(node.attr)
+    return names
+
+
+__all__ = ["ChaosSeamChecker", "RULE"]

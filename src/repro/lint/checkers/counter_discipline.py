@@ -1,0 +1,370 @@
+"""Counter-discipline checker: primitive-operation charging is the model.
+
+Tables 1-3 and the Section 5 throughput ladder are computed from
+:class:`~repro.cost.counters.OperationCounters` tallies, so operators and
+joins may only charge counters through the approved increment API (a typo
+like ``counters.compares()`` would silently charge nothing, and a direct
+field write bypasses the single audited accounting surface).  The batch
+executor's contract is stronger still: a tuple path and its batch variant
+must charge the *same counter names* -- byte-identical totals are asserted
+dynamically by tests/test_batch_equivalence.py, and this checker enforces
+the static half (same charge surface) on every commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.engine import Checker, Finding, LintConfig, SourceModule
+from repro.lint.checkers.common import finding, in_scope, iter_functions
+
+RULE_API = "counter-api"
+RULE_PARITY = "counter-parity"
+
+#: The charge surface: methods that increment a primitive-operation tally.
+CHARGE_METHODS = (
+    "compare",
+    "hash_key",
+    "move_tuple",
+    "swap_tuples",
+    "io_sequential",
+    "io_random",
+)
+#: Non-charging methods that are still legitimate on a counter object.
+_APPROVED = set(CHARGE_METHODS) | {
+    "absorb",
+    "as_dict",
+    "cost",
+    "cpu_cost",
+    "io_cost",
+    "report",
+    "reset",
+    "snapshot",
+}
+#: The raw tally fields (writes outside repro.cost are banned).
+_FIELDS = {
+    "comparisons",
+    "hashes",
+    "moves",
+    "swaps",
+    "sequential_ios",
+    "random_ios",
+}
+
+
+def _counter_receiver(node: ast.AST, receivers: Tuple[str, ...]) -> bool:
+    """Whether an expression statically looks like an OperationCounters
+    instance: a bare ``counters`` name or any ``<x>.counters`` attribute."""
+    if isinstance(node, ast.Name):
+        return node.id in receivers
+    if isinstance(node, ast.Attribute):
+        return node.attr in receivers
+    return False
+
+
+class CounterDisciplineChecker(Checker):
+    rules = {
+        RULE_API: (
+            "OperationCounters must be charged via the approved "
+            "increment API, never by direct field writes or unknown "
+            "methods"
+        ),
+        RULE_PARITY: (
+            "a tuple path and its batch variant must charge the same "
+            "counter names"
+        ),
+    }
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        if not in_scope(module, config.counter_prefixes):
+            return
+        receivers = config.counter_receivers
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _FIELDS
+                        and _counter_receiver(target.value, receivers)
+                    ):
+                        yield finding(
+                            module,
+                            RULE_API,
+                            node,
+                            "direct write to counter field %r; use the "
+                            "increment API (%s)"
+                            % (target.attr, ", ".join(CHARGE_METHODS)),
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and _counter_receiver(func.value, receivers)
+                    and func.attr not in _APPROVED
+                ):
+                    yield finding(
+                        module,
+                        RULE_API,
+                        node,
+                        "unknown counter method %r (typo charges "
+                        "nothing); approved: %s"
+                        % (func.attr, ", ".join(sorted(_APPROVED))),
+                    )
+        yield from self._check_parity(
+            module, receivers, config.charge_helpers
+        )
+
+    # -- tuple/batch charge parity -----------------------------------------
+
+    def _check_parity(
+        self,
+        module: SourceModule,
+        receivers: Tuple[str, ...],
+        helpers: Dict[str, Tuple[str, ...]],
+    ) -> Iterable[Finding]:
+        charge_map = _expanded_charge_map(module.tree, receivers, helpers)
+        for cls, func in iter_functions(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls_name = cls.name if cls is not None else None
+            # In-function split: ``if batch: ... else: ...`` (or the
+            # early-return form where the tuple path follows the If).
+            for body_node, branch in _batch_branches(func):
+                batch_charges = _charges(
+                    branch.batch_arm, receivers, charge_map, cls_name, helpers
+                )
+                tuple_charges = _charges(
+                    branch.tuple_arm, receivers, charge_map, cls_name, helpers
+                )
+                if (
+                    batch_charges
+                    and tuple_charges
+                    and batch_charges != tuple_charges
+                ):
+                    yield finding(
+                        module,
+                        RULE_PARITY,
+                        body_node,
+                        "batch arm charges {%s} but tuple arm charges "
+                        "{%s} in %s()"
+                        % (
+                            ", ".join(sorted(batch_charges)),
+                            ", ".join(sorted(tuple_charges)),
+                            func.name,
+                        ),
+                    )
+        # Cross-method split: ``X`` vs ``X_batch`` siblings in one class.
+        for cls, methods in _methods_by_class(module.tree):
+            for name, func in methods.items():
+                if not name.endswith("_batch"):
+                    continue
+                twin = methods.get(name[: -len("_batch")])
+                if twin is None:
+                    continue
+                cls_name = cls.name if cls is not None else None
+                batch_charges = _charges(
+                    func.body, receivers, charge_map, cls_name, helpers
+                )
+                tuple_charges = _charges(
+                    twin.body, receivers, charge_map, cls_name, helpers
+                )
+                if (
+                    batch_charges
+                    and tuple_charges
+                    and batch_charges != tuple_charges
+                ):
+                    yield finding(
+                        module,
+                        RULE_PARITY,
+                        func,
+                        "%s() charges {%s} but its tuple twin %s() "
+                        "charges {%s}"
+                        % (
+                            name,
+                            ", ".join(sorted(batch_charges)),
+                            twin.name,
+                            ", ".join(sorted(tuple_charges)),
+                        ),
+                    )
+
+
+class _Branch:
+    def __init__(self, batch_arm: List[ast.stmt], tuple_arm: List[ast.stmt]):
+        self.batch_arm = batch_arm
+        self.tuple_arm = tuple_arm
+
+
+def _batch_branches(
+    func: ast.AST,
+) -> Iterable[Tuple[ast.If, _Branch]]:
+    """Yield ``if <batch>:`` splits with their batch and tuple arms.
+
+    Handles both the explicit ``else`` form and the early-return form
+    (``if self.batch: return self._x_batch(...)`` followed by the tuple
+    path as the remaining statements of the enclosing block).
+    """
+    for parent in ast.walk(func):
+        body = getattr(parent, "body", None)
+        if not isinstance(body, list):
+            continue
+        for idx, stmt in enumerate(body):
+            if not isinstance(stmt, ast.If):
+                continue
+            test, negated = _batch_test(stmt.test)
+            if not test:
+                continue
+            batch_arm: List[ast.stmt]
+            tuple_arm: List[ast.stmt]
+            if negated:
+                batch_arm, tuple_arm = list(stmt.orelse), list(stmt.body)
+            else:
+                batch_arm, tuple_arm = list(stmt.body), list(stmt.orelse)
+            if not tuple_arm and _exits(batch_arm):
+                tuple_arm = body[idx + 1:]
+            yield stmt, _Branch(batch_arm, tuple_arm)
+
+
+def _batch_test(test: ast.AST) -> Tuple[bool, bool]:
+    """``(is_batch_test, negated)`` for an If condition."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner, _ = _batch_test(test.operand)
+        return inner, True
+    if isinstance(test, ast.Name):
+        return test.id == "batch", False
+    if isinstance(test, ast.Attribute):
+        return test.attr == "batch", False
+    return False, False
+
+
+def _exits(stmts: List[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(stmts[-1], (ast.Return, ast.Raise))
+
+
+_ChargeMap = Dict[Tuple[Optional[str], str], Set[str]]
+
+
+def _direct_charges(
+    stmts: Iterable[ast.stmt],
+    receivers: Tuple[str, ...],
+    helpers: Dict[str, Tuple[str, ...]],
+) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CHARGE_METHODS
+                    and _counter_receiver(func.value, receivers)
+                ):
+                    names.add(func.attr)
+                elif isinstance(func, ast.Attribute) and func.attr in helpers:
+                    # Cross-module charge helper (e.g. the JoinAlgorithm
+                    # base class's charge_heap_op): its charge set is
+                    # declared in LintConfig because the per-module
+                    # fixpoint cannot see into other files.
+                    names.update(helpers[func.attr])
+                elif isinstance(func, ast.Name) and func.id in helpers:
+                    names.update(helpers[func.id])
+    return names
+
+
+def _local_callees(
+    stmts: Iterable[ast.stmt],
+) -> Set[Tuple[str, str]]:
+    """Calls resolvable within the module: ``("self", m)`` for self-method
+    calls, ``("module", f)`` for bare-name calls."""
+    callees: Set[Tuple[str, str]] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                callees.add(("self", func.attr))
+            elif isinstance(func, ast.Name):
+                callees.add(("module", func.id))
+    return callees
+
+
+def _expanded_charge_map(
+    tree: ast.Module,
+    receivers: Tuple[str, ...],
+    helpers: Dict[str, Tuple[str, ...]],
+) -> _ChargeMap:
+    """Per-function charge sets with helper calls resolved to fixpoint,
+    so ``insert`` charging its hash inside ``self._bucket_for`` compares
+    equal to ``insert_batch`` charging the hash inline."""
+    funcs: Dict[Tuple[Optional[str], str], ast.AST] = {}
+    for cls, func in iter_functions(tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            key = (cls.name if cls is not None else None, func.name)
+            funcs.setdefault(key, func)
+    charges: _ChargeMap = {
+        key: _direct_charges(func.body, receivers, helpers)
+        for key, func in funcs.items()
+    }
+    callees = {
+        key: _local_callees(func.body) for key, func in funcs.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key in funcs:
+            cls_name = key[0]
+            for kind, name in callees[key]:
+                target = (
+                    (cls_name, name) if kind == "self" else (None, name)
+                )
+                extra = charges.get(target, set()) - charges[key]
+                if extra:
+                    charges[key] |= extra
+                    changed = True
+    return charges
+
+
+def _charges(
+    stmts: Iterable[ast.stmt],
+    receivers: Tuple[str, ...],
+    charge_map: _ChargeMap,
+    cls_name: Optional[str],
+    helpers: Dict[str, Tuple[str, ...]],
+) -> Set[str]:
+    names = _direct_charges(stmts, receivers, helpers)
+    for kind, callee in _local_callees(stmts):
+        target = (cls_name, callee) if kind == "self" else (None, callee)
+        names |= charge_map.get(target, set())
+    return names
+
+
+def _methods_by_class(
+    tree: ast.Module,
+) -> Iterable[Tuple[Optional[ast.ClassDef], Dict[str, ast.FunctionDef]]]:
+    groups: Dict[Optional[str], Tuple[Optional[ast.ClassDef], Dict]] = {}
+    for cls, func in iter_functions(tree):
+        if isinstance(func, ast.FunctionDef):
+            key = cls.name if cls is not None else None
+            groups.setdefault(key, (cls, {}))[1].setdefault(func.name, func)
+    for cls, methods in groups.values():
+        yield cls, methods
+
+
+__all__ = [
+    "CHARGE_METHODS",
+    "CounterDisciplineChecker",
+    "RULE_API",
+    "RULE_PARITY",
+]

@@ -1,0 +1,162 @@
+"""Determinism checker: the analytic model breaks on nondeterminism.
+
+Every number the reproduction reports is derived from primitive-operation
+counts, and every chaos failure must replay from ``(config, plan)`` alone.
+Both properties die the moment a counter-charged or simulated path reads a
+wall clock, consumes unseeded randomness, or iterates a ``set`` (whose
+order varies with ``PYTHONHASHSEED``).  This checker bans those constructs
+inside the deterministic module scope; the governor is deliberately *not*
+in scope -- wall-clock admission deadlines are its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Checker, Finding, LintConfig, SourceModule
+from repro.lint.checkers.common import (
+    call_name,
+    dotted_name,
+    finding,
+    imports_module,
+    in_scope,
+)
+
+RULE = "determinism"
+
+#: Wall-clock and entropy calls that are never deterministic.
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+
+class DeterminismChecker(Checker):
+    rules = {
+        RULE: (
+            "no wall clocks, unseeded randomness, or set-iteration in "
+            "counter-charged / simulated paths"
+        )
+    }
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        if not in_scope(module, config.deterministic_prefixes):
+            return
+        uses_random = imports_module(module.tree, "random")
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, uses_random)
+            elif (
+                isinstance(node, ast.Attribute)
+                and id(node) not in call_funcs
+            ):
+                if dotted_name(node) in _BANNED_CALLS:
+                    yield finding(
+                        module,
+                        RULE,
+                        node,
+                        "aliasing %s keeps a nondeterministic source "
+                        "reachable; if intentional (observability "
+                        "timers), suppress with a justifying comment"
+                        % dotted_name(node),
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield finding(
+                        module,
+                        RULE,
+                        node,
+                        "iterating a set: order depends on PYTHONHASHSEED; "
+                        "wrap in sorted(...)",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _is_set_expr(node.iter):
+                    yield finding(
+                        module,
+                        RULE,
+                        node.iter,
+                        "comprehension over a set: order depends on "
+                        "PYTHONHASHSEED; wrap in sorted(...)",
+                    )
+
+    def _check_call(
+        self, module: SourceModule, node: ast.Call, uses_random: bool
+    ) -> Iterable[Finding]:
+        name = call_name(node)
+        if name is None:
+            return
+        if name in _BANNED_CALLS:
+            yield finding(
+                module,
+                RULE,
+                node,
+                "%s() is nondeterministic; use the simulated clock or a "
+                "seeded source" % name,
+            )
+        elif name.startswith("secrets."):
+            yield finding(
+                module, RULE, node, "%s() draws real entropy" % name
+            )
+        elif uses_random and name.startswith("random."):
+            attr = name.split(".", 1)[1]
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    yield finding(
+                        module,
+                        RULE,
+                        node,
+                        "random.Random() without a seed is "
+                        "nondeterministic; pass an explicit seed",
+                    )
+            else:
+                yield finding(
+                    module,
+                    RULE,
+                    node,
+                    "module-level random.%s() uses the shared unseeded "
+                    "RNG; use a seeded random.Random instance" % attr,
+                )
+        elif name in ("list", "tuple") and len(node.args) == 1:
+            if _is_set_expr(node.args[0]):
+                yield finding(
+                    module,
+                    RULE,
+                    node,
+                    "%s(<set>) materialises hash order; use "
+                    "sorted(...)" % name,
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+__all__ = ["DeterminismChecker", "RULE"]

@@ -1,0 +1,155 @@
+"""Error-taxonomy checker: every intentional raise is a typed error.
+
+The taxonomy in :mod:`repro.errors` exists so callers can catch "something
+this database detected and refused" with one except clause.  Ad-hoc
+``raise ValueError`` / ``raise RuntimeError`` punch holes in that contract,
+and a bare ``except:`` swallows :class:`KeyboardInterrupt` along with the
+injected :class:`~repro.chaos.CrashSignal` the chaos harness depends on.
+Protocol-level builtins (``KeyError`` from mappings, ``IndexError`` from
+sequences, ``TypeError``/``NotImplementedError`` from dunder contracts)
+stay legal -- Python semantics require them.
+
+Exception classes *defined* in the tree must also join the taxonomy: a
+class whose bases are only builtin exceptions is invisible to
+``except ReproError``.  Deliberate escapes (the chaos CrashSignal, which
+must *not* be catchable as a ReproError) carry a suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.engine import Checker, Finding, LintConfig, SourceModule
+from repro.lint.checkers.common import finding
+
+RULE_RAISE = "banned-raise"
+RULE_EXCEPT = "bare-except"
+RULE_BASE = "exception-base"
+
+#: Builtin bases that do NOT make an exception class taxonomy-compliant.
+_BUILTIN_EXC = {
+    "ArithmeticError",
+    "AssertionError",
+    "BaseException",
+    "Exception",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "OSError",
+    "RuntimeError",
+    "StopIteration",
+    "TypeError",
+    "ValueError",
+}
+
+
+class ErrorTaxonomyChecker(Checker):
+    rules = {
+        RULE_RAISE: (
+            "no ad-hoc raise of ValueError/RuntimeError/Exception; use "
+            "the repro.errors taxonomy"
+        ),
+        RULE_EXCEPT: "no bare except: (swallows CrashSignal and ^C)",
+        RULE_BASE: (
+            "exception classes defined here must derive from a "
+            "repro.errors taxonomy class"
+        ),
+    }
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        local_taxonomy = _local_taxonomy_classes(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in config.banned_raises:
+                    yield finding(
+                        module,
+                        RULE_RAISE,
+                        node,
+                        "raise %s: use a repro.errors taxonomy class "
+                        "(ConfigurationError, PlannerError, StateError, "
+                        "...)" % name,
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield finding(
+                        module,
+                        RULE_EXCEPT,
+                        node,
+                        "bare except: catches CrashSignal and "
+                        "KeyboardInterrupt; name the exception family",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, local_taxonomy)
+
+    def _check_class(
+        self,
+        module: SourceModule,
+        node: ast.ClassDef,
+        local_taxonomy: Set[str],
+    ) -> Iterable[Finding]:
+        base_names = [
+            b for b in (_base_name(base) for base in node.bases) if b
+        ]
+        if not base_names:
+            return
+        is_exception = any(
+            b in _BUILTIN_EXC or b.endswith("Error") or b.endswith("Signal")
+            or b.endswith("Violation")
+            for b in base_names
+        )
+        if not is_exception:
+            return
+        compliant = any(
+            b not in _BUILTIN_EXC for b in base_names
+        ) or node.name in local_taxonomy
+        if not compliant:
+            yield finding(
+                module,
+                RULE_BASE,
+                node,
+                "exception %s derives only from builtins (%s); add a "
+                "repro.errors base so 'except ReproError' sees it"
+                % (node.name, ", ".join(base_names)),
+            )
+
+
+def _raised_name(node: ast.Raise) -> str:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""
+
+
+def _base_name(node: ast.AST) -> str:
+    while isinstance(node, ast.Attribute):
+        node = node  # keep the final attribute name
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _local_taxonomy_classes(tree: ast.Module) -> Set[str]:
+    """Classes in repro/errors.py itself: ReproError's direct family is
+    allowed to subclass builtins (that is the compatibility bridge)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases = {_base_name(b) for b in node.bases}
+            if "ReproError" in bases or node.name == "ReproError":
+                names.add(node.name)
+    return names
+
+
+__all__ = [
+    "ErrorTaxonomyChecker",
+    "RULE_BASE",
+    "RULE_EXCEPT",
+    "RULE_RAISE",
+]

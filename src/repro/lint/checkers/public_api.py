@@ -1,0 +1,146 @@
+"""Public-API checker: ``__all__`` must match what a module exports.
+
+A name listed in ``__all__`` but never defined breaks ``import *`` at a
+distance; a public class or function missing from ``__all__`` drifts out
+of the documented surface.  Modules that define public names must declare
+``__all__`` (scripts like ``__main__`` are exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.engine import (
+    Checker,
+    Finding,
+    LintConfig,
+    SourceModule,
+    WARNING,
+)
+from repro.lint.checkers.common import finding
+
+RULE = "public-api"
+
+
+class PublicApiChecker(Checker):
+    rules = {
+        RULE: (
+            "__all__ must list exactly the public names a module defines"
+        )
+    }
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        stem = module.path.stem
+        if stem in config.no_all_ok:
+            return
+        all_node, all_names = _find_all(module.tree)
+        defined = _top_level_names(module.tree)
+        public_defs = _public_definitions(module.tree)
+        if all_node is None:
+            if public_defs:
+                yield finding(
+                    module,
+                    RULE,
+                    public_defs[0],
+                    "module defines public names (%s, ...) but no "
+                    "__all__" % public_defs[0].name,
+                    severity=WARNING,
+                )
+            return
+        for name in all_names:
+            if name not in defined:
+                yield finding(
+                    module,
+                    RULE,
+                    all_node,
+                    "__all__ lists %r which the module never defines"
+                    % name,
+                )
+        listed = set(all_names)
+        for node in public_defs:
+            if node.name not in listed:
+                yield finding(
+                    module,
+                    RULE,
+                    node,
+                    "public %s %r is not in __all__ (export it or make "
+                    "it private)"
+                    % (
+                        "class"
+                        if isinstance(node, ast.ClassDef)
+                        else "function",
+                        node.name,
+                    ),
+                )
+
+
+def _find_all(
+    tree: ast.Module,
+) -> tuple:
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                names: List[str] = []
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            names.append(elt.value)
+                return node, names
+    return None, []
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (version guards, import fallbacks).
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.ClassDef)
+                ):
+                    names.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        names.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+    return names
+
+
+def _public_definitions(tree: ast.Module) -> List[ast.stmt]:
+    defs: List[ast.stmt] = []
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and not node.name.startswith("_"):
+            defs.append(node)
+    return defs
+
+
+__all__ = ["PublicApiChecker", "RULE"]

@@ -1,0 +1,131 @@
+"""Command line for the invariant linter: ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (
+    ERROR,
+    WARNING,
+    all_checkers,
+    apply_baseline,
+    collect_modules,
+    format_json,
+    format_text,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for the reproduction: "
+            "determinism, counter discipline, error taxonomy, chaos-seam "
+            "coverage, lock order, and public-API consistency "
+            "(docs/LINTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline file: demote its fingerprints to warnings so new "
+        "rules can land warn-only",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="FILE",
+        help="write the current error findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the build",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--lock-graph",
+        action="store_true",
+        help="print the statically extracted lock-acquisition graph and "
+        "exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for checker in all_checkers():
+            for rule, description in sorted(checker.rules.items()):
+                print("%-16s %s" % (rule, description))
+        return 0
+
+    if args.lock_graph:
+        from repro.lint.checkers.lock_order import lock_graph_report
+
+        modules, _ = collect_modules(args.paths)
+        for lock, after in lock_graph_report(modules).items():
+            print(
+                "%s -> %s" % (lock, ", ".join(after) if after else "(leaf)")
+            )
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+
+    findings = run_lint(paths=args.paths, rules=rules)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            "wrote %d fingerprint(s) to %s"
+            % (
+                sum(1 for f in findings if f.severity == ERROR),
+                args.write_baseline,
+            )
+        )
+        return 0
+
+    if args.baseline:
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    output = (
+        format_json(findings)
+        if args.format == "json"
+        else format_text(findings)
+    )
+    print(output)
+
+    failing = {ERROR, WARNING} if args.strict else {ERROR}
+    return 1 if any(f.severity in failing for f in findings) else 0
+
+
+__all__ = ["build_parser", "main"]

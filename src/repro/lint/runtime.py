@@ -1,0 +1,219 @@
+"""Dynamic lock-order recording -- the runtime half of the lock-order rule.
+
+The static pass in :mod:`repro.lint.checkers.lock_order` proves the
+*source* acquires locks in one global order; this module checks the same
+invariant on *executions*.  A :class:`LockOrderRecorder` keeps a
+per-thread stack of held locks and, on every acquisition, records an edge
+from each currently-held lock to the new one.  At teardown
+:meth:`LockOrderRecorder.assert_acyclic` fails the test if any interleaved
+pair of threads acquired two locks in opposite orders -- the ABBA pattern
+that becomes a deadlock under less lucky scheduling.
+
+Production code opts in through :func:`tracked_lock`::
+
+    self._lock = tracked_lock("repro.governor.Governor._lock")
+
+With no recorder installed (the default) that returns a plain
+``threading.Lock`` -- zero overhead.  The test suite installs a global
+recorder (see tests/conftest.py), so every governor and group-commit test
+doubles as a lock-order check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+
+class LockOrderViolation(ReproError):
+    """Two locks were acquired in opposite orders by interleaved threads."""
+
+    def __init__(self, cycle: List[str], edges: Dict[str, Set[str]]) -> None:
+        self.cycle = list(cycle)
+        self.edges = {k: set(v) for k, v in edges.items()}
+        super().__init__(
+            "lock-order cycle observed at runtime: %s"
+            % " -> ".join(self.cycle + self.cycle[:1])
+        )
+
+
+class LockOrderRecorder:
+    """Observed lock-acquisition edges across every thread."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._held = threading.local()
+        #: edge -> (thread names observed taking it) for diagnostics.
+        self._edges: Dict[Tuple[str, str], Set[str]] = {}
+        self.acquisitions = 0
+
+    # -- hooks called by TrackedLock ---------------------------------------
+
+    def on_acquire(self, name: str) -> None:
+        stack = self._stack()
+        if name not in stack:
+            thread = threading.current_thread().name
+            with self._guard:
+                self.acquisitions += 1
+                for held in stack:
+                    self._edges.setdefault((held, name), set()).add(thread)
+        stack.append(name)
+
+    def on_release(self, name: str) -> None:
+        stack = self._stack()
+        # Remove the innermost occurrence (reentrant locks release LIFO).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    # -- analysis ----------------------------------------------------------
+
+    def edges(self) -> Dict[str, Set[str]]:
+        with self._guard:
+            graph: Dict[str, Set[str]] = {}
+            for (a, b) in self._edges:
+                graph.setdefault(a, set()).add(b)
+            return graph
+
+    def find_cycle(self) -> Optional[List[str]]:
+        graph = self.edges()
+        colour: Dict[str, int] = {}
+        path: List[str] = []
+
+        def dfs(node: str) -> Optional[List[str]]:
+            colour[node] = 1
+            path.append(node)
+            for nxt in sorted(graph.get(node, ())):
+                state = colour.get(nxt, 0)
+                if state == 1:
+                    return path[path.index(nxt):]
+                if state == 0:
+                    cycle = dfs(nxt)
+                    if cycle is not None:
+                        return cycle
+            path.pop()
+            colour[node] = 2
+            return None
+
+        for node in sorted(graph):
+            if colour.get(node, 0) == 0:
+                cycle = dfs(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderViolation` if any ABBA pair was seen."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise LockOrderViolation(cycle, self.edges())
+
+    def reset(self) -> None:
+        with self._guard:
+            self._edges.clear()
+            self.acquisitions = 0
+
+
+class TrackedLock:
+    """A lock proxy that reports acquisitions to a recorder.
+
+    Delegates ``acquire``/``release`` to a real lock, so it drops into
+    ``threading.Condition`` unchanged (the condition probes ownership via
+    non-blocking acquire, which records nothing unless it succeeds).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        recorder: LockOrderRecorder,
+        factory: Callable[[], object] = threading.Lock,
+    ) -> None:
+        self.name = name
+        self.recorder = recorder
+        self._lock = factory()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self.recorder.on_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self.recorder.on_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return "TrackedLock(%r)" % (self.name,)
+
+
+#: The process-wide recorder (None = tracking off, plain locks handed out).
+_RECORDER: Optional[LockOrderRecorder] = None
+
+
+def install_recorder(
+    recorder: Optional[LockOrderRecorder] = None,
+) -> LockOrderRecorder:
+    """Install (and return) the process-wide recorder.
+
+    Locks created by :func:`tracked_lock` *after* this call report to it;
+    the test suite installs one before building any engine objects.
+    """
+    global _RECORDER
+    if recorder is None:
+        recorder = LockOrderRecorder()
+    _RECORDER = recorder
+    return recorder
+
+
+def uninstall_recorder() -> None:
+    global _RECORDER
+    _RECORDER = None
+
+
+def current_recorder() -> Optional[LockOrderRecorder]:
+    return _RECORDER
+
+
+def tracked_lock(
+    name: str, factory: Callable[[], object] = threading.Lock
+):
+    """A lock that self-reports to the installed recorder (if any).
+
+    This is the production seam: call it wherever a lock is created, and
+    the object is a plain ``factory()`` lock unless a recorder is
+    installed -- tracking costs nothing outside the test suite.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return factory()
+    return TrackedLock(name, recorder, factory)
+
+
+__all__ = [
+    "LockOrderRecorder",
+    "LockOrderViolation",
+    "TrackedLock",
+    "current_recorder",
+    "install_recorder",
+    "tracked_lock",
+    "uninstall_recorder",
+]

@@ -27,6 +27,7 @@ from repro.join.partition import SpillWriter, partition_hash, read_bucket
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import DataType, Field, Schema, tuple_projector
+from repro.errors import PlannerError
 
 
 class AggregateFunction(enum.Enum):
@@ -49,7 +50,7 @@ class AggregateSpec:
 
     def __post_init__(self) -> None:
         if self.function is not AggregateFunction.COUNT and self.column is None:
-            raise ValueError("%s requires a column" % self.function.value)
+            raise PlannerError("%s requires a column" % self.function.value)
 
     @property
     def output_name(self) -> str:
@@ -103,7 +104,7 @@ def _output_schema(
             dtype = schema.field(spec.column or "").dtype
         fields.append(Field(spec.output_name, dtype))
     if not fields:
-        raise ValueError("aggregation needs group-by columns or aggregates")
+        raise PlannerError("aggregation needs group-by columns or aggregates")
     return Schema(fields)
 
 

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cost.counters import OperationCounters
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import Schema, tuple_projector
+from repro.errors import PlannerError
 
 
 def _require_compatible(a: Relation, b: Relation, op: str) -> None:
@@ -28,7 +29,7 @@ def _require_compatible(a: Relation, b: Relation, op: str) -> None:
         fa.dtype is not fb.dtype
         for fa, fb in zip(a.schema.fields, b.schema.fields)
     ):
-        raise ValueError(
+        raise PlannerError(
             "%s requires union-compatible schemas; got %r and %r"
             % (op, a.schema, b.schema)
         )
@@ -93,9 +94,9 @@ def divide(
     if divisor_attr is None:
         divisor_attr = divisor.schema.names
     if len(r_attr) != len(divisor_attr):
-        raise ValueError("dividend/divisor attribute lists differ in length")
+        raise PlannerError("dividend/divisor attribute lists differ in length")
     if not r_group:
-        raise ValueError("division needs at least one result column")
+        raise PlannerError("division needs at least one result column")
 
     group_idx = [r.schema.index_of(c) for c in r_group]
     attr_idx = [r.schema.index_of(c) for c in r_attr]

@@ -17,6 +17,7 @@ from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import Schema
+from repro.errors import PlannerError
 
 _OPS: dict = {
     "=": operator.eq,
@@ -77,7 +78,7 @@ class Comparison(Predicate):
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
-            raise ValueError("unknown comparison operator %r" % self.op)
+            raise PlannerError("unknown comparison operator %r" % self.op)
 
     def evaluate(self, schema: Schema, row: Row) -> bool:
         return _OPS[self.op](row[schema.index_of(self.column)], self.value)
@@ -117,7 +118,7 @@ class Prefix(Predicate):
 
     def __post_init__(self) -> None:
         if not self.prefix:
-            raise ValueError("empty prefix matches everything; use no "
+            raise PlannerError("empty prefix matches everything; use no "
                              "predicate instead")
 
     def evaluate(self, schema: Schema, row: Row) -> bool:
@@ -282,7 +283,7 @@ def select_via_index(
     tpp = max(1, relation.tuples_per_page)
     if isinstance(predicate, Prefix):
         if not index.supports_range_scan:
-            raise ValueError(
+            raise PlannerError(
                 "prefix predicates need an ordered index on %r"
                 % predicate.column
             )
@@ -302,7 +303,7 @@ def select_via_index(
             out.insert_unchecked(relation.fetch(tid))
         return out
     if not index.supports_range_scan:
-        raise ValueError(
+        raise PlannerError(
             "index on %r cannot serve a %r predicate; hash indexes only "
             "support equality" % (predicate.column, predicate.op)
         )
@@ -312,7 +313,7 @@ def select_via_index(
     elif predicate.op in ("<", "<="):
         high = predicate.value
     else:
-        raise ValueError("operator %r cannot use an index" % predicate.op)
+        raise PlannerError("operator %r cannot use an index" % predicate.op)
     for i, (key, tid) in enumerate(index.range_scan(low, high)):
         if token is not None and i % tpp == 0:
             token.check()

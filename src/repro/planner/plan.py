@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import OperationCounters
 from repro.cost.join_model import ALGORITHMS as JOIN_COST_MODELS
-from repro.errors import PlannerError
+from repro.errors import PlannerError, StateError
 from repro.cost.parameters import CostParameters
 from repro.cost.join_model import JoinWorkload
 from repro.join import ALL_JOINS, JoinSpec
@@ -228,7 +228,7 @@ class IndexScanNode(PlanNode):
     def _run(self, ctx: PlanContext) -> Relation:
         index = ctx.catalog.index(self.table, self.predicate.column)
         if index is None:
-            raise RuntimeError(
+            raise StateError(
                 "plan expected an index on %s.%s"
                 % (self.table, self.predicate.column)
             )

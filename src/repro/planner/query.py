@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.operators.aggregate import AggregateSpec
 from repro.operators.selection import Predicate
+from repro.errors import PlannerError
 
 
 @dataclass(frozen=True)
@@ -32,14 +33,14 @@ class JoinClause:
             return self.right_table
         if table == self.right_table:
             return self.left_table
-        raise ValueError("%r is not part of this join clause" % table)
+        raise PlannerError("%r is not part of this join clause" % table)
 
     def column_of(self, table: str) -> str:
         if table == self.left_table:
             return self.left_column
         if table == self.right_table:
             return self.right_column
-        raise ValueError("%r is not part of this join clause" % table)
+        raise PlannerError("%r is not part of this join clause" % table)
 
     def __str__(self) -> str:
         return "%s.%s = %s.%s" % (
@@ -64,19 +65,19 @@ class Query:
 
     def __post_init__(self) -> None:
         if not self.tables:
-            raise ValueError("a query references at least one table")
+            raise PlannerError("a query references at least one table")
         if len(set(self.tables)) != len(self.tables):
-            raise ValueError("self-joins need distinct aliases; duplicate "
+            raise PlannerError("self-joins need distinct aliases; duplicate "
                              "table in %r" % (self.tables,))
         names = set(self.tables)
         for table, _ in self.predicates:
             if table not in names:
-                raise ValueError("predicate on unknown table %r" % table)
+                raise PlannerError("predicate on unknown table %r" % table)
         for clause in self.joins:
             if clause.left_table not in names or clause.right_table not in names:
-                raise ValueError("join clause %s references unknown table" % clause)
+                raise PlannerError("join clause %s references unknown table" % clause)
         if self.aggregates and self.projection is not None:
-            raise ValueError("use group_by/aggregates or projection, not both")
+            raise PlannerError("use group_by/aggregates or projection, not both")
 
     def predicates_on(self, table: str) -> List[Predicate]:
         return [p for t, p in self.predicates if t == table]

@@ -33,13 +33,14 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import PlannerError
 from repro.operators.aggregate import AggregateFunction, AggregateSpec
 from repro.operators.selection import And, Comparison, Not, Or, Predicate, Prefix
 from repro.planner.query import JoinClause, Query
 from repro.storage.catalog import Catalog
 
 
-class SqlError(ValueError):
+class SqlError(PlannerError):
     """Raised for syntax or resolution errors, with position context."""
 
 

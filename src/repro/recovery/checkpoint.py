@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.recovery.state import DatabaseState, DirtyPageTable, DiskSnapshot, PageImage
 from repro.recovery.transactions import TransactionEngine
 from repro.sim.events import EventQueue
+from repro.errors import ConfigurationError
 
 
 class Checkpointer:
@@ -37,9 +38,9 @@ class Checkpointer:
         installing page batches).  ``1`` -- the default -- reproduces the
         one-event-per-page seed schedule exactly."""
         if interval <= 0:
-            raise ValueError("checkpoint interval must be positive")
+            raise ConfigurationError("checkpoint interval must be positive")
         if batch_pages < 1:
-            raise ValueError("batch_pages must be at least 1")
+            raise ConfigurationError("batch_pages must be at least 1")
         self.engine = engine
         self.snapshot = snapshot
         self.interval = interval

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.events import EventQueue
+from repro.errors import ConfigurationError
 
 #: Time to write one 4096-byte log page without a disk seek (Section 5.1).
 DEFAULT_PAGE_WRITE_TIME = 0.010
@@ -44,7 +45,7 @@ class LogDevice:
         page_write_time: float = DEFAULT_PAGE_WRITE_TIME,
     ) -> None:
         if page_write_time <= 0:
-            raise ValueError("page write time must be positive")
+            raise ConfigurationError("page write time must be positive")
         self.queue = queue
         self.device_id = device_id
         self.page_write_time = page_write_time
@@ -125,7 +126,7 @@ class PartitionedLog:
         page_write_time: float = DEFAULT_PAGE_WRITE_TIME,
     ) -> None:
         if devices < 1:
-            raise ValueError("need at least one log device")
+            raise ConfigurationError("need at least one log device")
         self.devices = [
             LogDevice(queue, device_id=i, page_write_time=page_write_time)
             for i in range(devices)

@@ -37,6 +37,7 @@ from repro.recovery.records import (
 )
 from repro.recovery.stable_memory import StableMemory
 from repro.sim.events import EventQueue
+from repro.errors import ConfigurationError
 
 
 class CommitPolicy(enum.Enum):
@@ -96,7 +97,7 @@ class LogManager:
         if policy is CommitPolicy.STABLE and stable is None:
             stable = StableMemory()
         if compress and policy is not CommitPolicy.STABLE:
-            raise ValueError(
+            raise ConfigurationError(
                 "new-value-only compression needs the stable-memory policy: "
                 "old values may only be dropped once the transaction is "
                 "durably committed (Section 5.4)"

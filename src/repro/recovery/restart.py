@@ -40,6 +40,13 @@ from repro.recovery.records import (
 from repro.recovery.state import DatabaseState, DiskSnapshot
 from repro.recovery.transactions import TransactionEngine
 
+#: Wall-clock timer behind the restart phase timings in
+#: ``db.recovery_stats()``.  The timings are observability (how long the
+#: *host* took), never charged to the analytic model, so the one escape
+#: from the determinism rule is aliased here where the justification can
+#: live next to it.
+_wall_clock = time.perf_counter  # repro-lint: disable=determinism
+
 #: Cost model for the recovery pass itself.
 PAGE_READ_TIME = 0.010       # sequential reload of snapshot / log pages
 RECORD_APPLY_TIME = 0.00005  # CPU to interpret and apply one log record
@@ -248,7 +255,7 @@ def _recover_serial(
     """The record-at-a-time reference path (the seed implementation, with
     wall-clock phase timers around the existing passes)."""
     phases: Dict[str, float] = {}
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     state = DatabaseState(
         crash_state.n_records,
         crash_state.records_per_page,
@@ -257,19 +264,19 @@ def _recover_serial(
     _validate(crash_state, state)
     crash_state.snapshot.load_into(state)
     snapshot_lsn = list(state.page_lsn)  # per-page LSN as of the snapshot
-    phases["analysis"] = time.perf_counter() - t0
+    phases["analysis"] = _wall_clock() - t0
 
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     committed = crash_state.committed_tids
     # Winners are redone; losers are undone.  A durably-aborted transaction
     # is a winner: its forward history (updates + compensations) nets to
     # identity, exactly like ARIES CLRs.
     winners = committed | crash_state.resolved_abort_tids
     log = crash_state.durable_log
-    phases["commit_resolution"] = time.perf_counter() - t0
+    phases["commit_resolution"] = _wall_clock() - t0
 
     # ---- undo pass: strip loser updates the fuzzy snapshot absorbed. ----
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     undone = 0
     for record in reversed(log):
         if not isinstance(record, UpdateRecord) or record.tid in winners:
@@ -278,10 +285,10 @@ def _recover_serial(
         if record.lsn <= snapshot_lsn[page]:
             state.values[record.record_id] = record.old_value
             undone += 1
-    phases["undo"] = time.perf_counter() - t0
+    phases["undo"] = _wall_clock() - t0
 
     # ---- redo pass: reapply committed work missing from the snapshot. ----
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     redo_start = _redo_start(crash_state, use_dirty_page_table)
     scanned = 0
     redone = 0
@@ -296,7 +303,7 @@ def _recover_serial(
             state.values[record.record_id] = record.new_value
             state.page_lsn[page] = record.lsn
             redone += 1
-    phases["redo"] = time.perf_counter() - t0
+    phases["redo"] = _wall_clock() - t0
 
     return RecoveryOutcome(
         state=state,
@@ -324,7 +331,7 @@ def _recover_batched(
     from repro.recovery.parallel_restart import parallel_redo
 
     phases: Dict[str, float] = {}
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     state = DatabaseState(
         crash_state.n_records,
         crash_state.records_per_page,
@@ -334,17 +341,17 @@ def _recover_batched(
     crash_state.snapshot.load_into(state)
     snapshot_lsn = list(state.page_lsn)
     redo_start = _redo_start(crash_state, use_dirty_page_table)
-    phases["analysis"] = time.perf_counter() - t0
+    phases["analysis"] = _wall_clock() - t0
 
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     committed = crash_state.committed_tids
     winners = committed | crash_state.resolved_abort_tids
-    phases["commit_resolution"] = time.perf_counter() - t0
+    phases["commit_resolution"] = _wall_clock() - t0
 
     # Undo and redo are fused in the page workers (per page: undo
     # backward, then redo forward -- the serial rules exactly); both
     # phases' wall-clock therefore lands under "redo", and "undo" is 0.
-    t0 = time.perf_counter()
+    t0 = _wall_clock()
     scanned, redone, undone, skipped = parallel_redo(
         state,
         crash_state.durable_log,
@@ -355,7 +362,7 @@ def _recover_batched(
         injector=injector,
     )
     phases["undo"] = 0.0
-    phases["redo"] = time.perf_counter() - t0
+    phases["redo"] = _wall_clock() - t0
 
     return RecoveryOutcome(
         state=state,

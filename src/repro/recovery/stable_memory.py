@@ -24,9 +24,10 @@ from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.recovery.records import LogRecord, RecordSizing, DEFAULT_SIZING
+from repro.errors import ConfigurationError, StateError
 
 
-class StableMemoryFullError(RuntimeError):
+class StableMemoryFullError(StateError):
     """The stable region's byte budget is exhausted."""
 
 
@@ -35,7 +36,7 @@ class StableMemory:
 
     def __init__(self, capacity_bytes: int = 256 * 1024) -> None:
         if capacity_bytes <= 0:
-            raise ValueError("stable memory needs a positive capacity")
+            raise ConfigurationError("stable memory needs a positive capacity")
         self.capacity_bytes = capacity_bytes
         self._log_bytes = 0
         self._records: List[LogRecord] = []
@@ -95,7 +96,7 @@ class StableMemory:
     ) -> List[LogRecord]:
         """Drop the oldest ``count`` records once durable on disk."""
         if count > len(self._records):
-            raise ValueError("releasing more records than are held")
+            raise ConfigurationError("releasing more records than are held")
         released = self._records[:count]
         del self._records[:count]
         self._log_bytes -= sum(r.size(sizing) for r in released)

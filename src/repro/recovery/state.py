@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
+from repro.errors import ConfigurationError
 
 
 class DatabaseState:
@@ -26,9 +27,9 @@ class DatabaseState:
         initial_value: Any = 0,
     ) -> None:
         if n_records < 1:
-            raise ValueError("database needs at least one record")
+            raise ConfigurationError("database needs at least one record")
         if records_per_page < 1:
-            raise ValueError("records per page must be positive")
+            raise ConfigurationError("records per page must be positive")
         self.n_records = n_records
         self.records_per_page = records_per_page
         self.values: List[Any] = [initial_value] * n_records

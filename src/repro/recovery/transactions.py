@@ -30,6 +30,7 @@ from repro.recovery.log_manager import CommitPolicy, LogManager
 from repro.recovery.records import AbortRecord, BeginRecord, UpdateRecord
 from repro.recovery.state import DatabaseState, DirtyPageTable
 from repro.sim.events import EventQueue
+from repro.errors import ConfigurationError
 
 #: A script step: ("read", record_id), ("write", record_id, new_value)
 #: where new_value may be a callable old -> new (for transfers), or
@@ -173,7 +174,7 @@ class TransactionEngine:
             elif kind == "write":
                 self._apply_write(txn, record_id, op[2])
             else:
-                raise ValueError("unknown operation %r" % (kind,))
+                raise ConfigurationError("unknown operation %r" % (kind,))
             txn.step += 1
         self._precommit(txn)
 
@@ -262,7 +263,7 @@ class TransactionEngine:
     def abort(self, txn: Transaction) -> None:
         """Roll back an *active* transaction (pre-committed never abort)."""
         if txn.state not in (TransactionState.ACTIVE, TransactionState.WAITING):
-            raise ValueError(
+            raise ConfigurationError(
                 "cannot abort a %s transaction (the paper's pre-commit "
                 "contract: only a crash kills a pre-committed transaction)"
                 % txn.state.value
@@ -303,7 +304,7 @@ class TransactionEngine:
     def throughput(self, horizon: float) -> float:
         """Committed transactions per second of simulated time."""
         if horizon <= 0:
-            raise ValueError("horizon must be positive")
+            raise ConfigurationError("horizon must be positive")
         return len(self.committed) / horizon
 
     def mean_commit_latency(self) -> float:

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.recovery.state import DatabaseState
 from repro.recovery.transactions import Transaction, TransactionEngine
+from repro.errors import ConfigurationError, StateError
 
 
 class SnapshotView:
@@ -40,7 +41,7 @@ class SnapshotView:
     def read(self, record_id: int) -> Any:
         """Value of ``record_id`` as of this snapshot (no locks taken)."""
         if self._released:
-            raise RuntimeError("snapshot already released")
+            raise StateError("snapshot already released")
         return self._manager.read_at(record_id, self.lsn)
 
     def read_many(self, record_ids) -> List[Any]:
@@ -70,7 +71,7 @@ class VersionManager:
 
     def __init__(self, engine: TransactionEngine) -> None:
         if engine.versions is not None:
-            raise ValueError("engine already has a version manager")
+            raise ConfigurationError("engine already has a version manager")
         self.engine = engine
         self.n_records = engine.state.n_records
         #: Base (pre-history) values, captured at attach time.

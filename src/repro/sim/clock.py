@@ -8,6 +8,8 @@ reason the paper reports analytic rather than measured seconds.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 
 class SimulatedClock:
     """Monotonic virtual time in seconds.
@@ -19,7 +21,7 @@ class SimulatedClock:
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
-            raise ValueError("clock cannot start before time zero")
+            raise ConfigurationError("clock cannot start before time zero")
         self._now = float(start)
 
     @property
@@ -30,7 +32,7 @@ class SimulatedClock:
     def advance(self, seconds: float) -> float:
         """Move forward by ``seconds`` and return the new time."""
         if seconds < 0:
-            raise ValueError("cannot advance the clock by a negative amount")
+            raise ConfigurationError("cannot advance the clock by a negative amount")
         self._now += seconds
         return self._now
 
@@ -38,7 +40,7 @@ class SimulatedClock:
         """Move forward to ``timestamp`` (no-op if already past it is an
         error: simulations must never lose causality)."""
         if timestamp < self._now:
-            raise ValueError(
+            raise ConfigurationError(
                 "clock is at %.6f, cannot rewind to %.6f" % (self._now, timestamp)
             )
         self._now = float(timestamp)
@@ -47,7 +49,7 @@ class SimulatedClock:
     def reset(self, start: float = 0.0) -> None:
         """Restart the clock (used between benchmark repetitions)."""
         if start < 0:
-            raise ValueError("clock cannot start before time zero")
+            raise ConfigurationError("clock cannot start before time zero")
         self._now = float(start)
 
     def __repr__(self) -> str:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import SimulatedClock
+from repro.errors import ConfigurationError, StateError
 
 
 @dataclass(frozen=True)
@@ -62,7 +63,7 @@ class EventQueue:
     ) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
-            raise ValueError("cannot schedule an event in the past")
+            raise ConfigurationError("cannot schedule an event in the past")
         return self.schedule_at(self.clock.now + delay, action, label)
 
     def schedule_at(
@@ -70,7 +71,7 @@ class EventQueue:
     ) -> Event:
         """Schedule ``action`` at an absolute virtual timestamp."""
         if timestamp < self.clock.now:
-            raise ValueError(
+            raise ConfigurationError(
                 "event at %.6f is before current time %.6f"
                 % (timestamp, self.clock.now)
             )
@@ -111,7 +112,7 @@ class EventQueue:
         ran = 0
         while self._heap:
             if ran >= max_events:
-                raise RuntimeError("event queue did not drain (runaway simulation?)")
+                raise StateError("event queue did not drain (runaway simulation?)")
             self.step()
             ran += 1
         return ran

@@ -13,6 +13,7 @@ import enum
 import random
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from repro.errors import ConfigurationError
 
 
 class ReplacementPolicy(enum.Enum):
@@ -45,7 +46,7 @@ class BufferPool:
         on_fault: Optional[Callable[[Hashable], None]] = None,
     ) -> None:
         if capacity < 1:
-            raise ValueError("buffer pool needs at least one frame")
+            raise ConfigurationError("buffer pool needs at least one frame")
         self.capacity = capacity
         self.policy = policy
         self._rng = random.Random(seed)

@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.storage.histogram import EquiDepthHistogram
 from repro.storage.relation import Relation
+from repro.errors import ConfigurationError
 
 
 @dataclass
@@ -76,7 +77,7 @@ class Catalog:
     def register(self, relation: Relation) -> Relation:
         """Add ``relation``; raises if the name exists."""
         if relation.name in self._relations:
-            raise ValueError("relation %r already exists" % relation.name)
+            raise ConfigurationError("relation %r already exists" % relation.name)
         self._relations[relation.name] = relation
         return relation
 
@@ -108,7 +109,7 @@ class Catalog:
         self.relation(relation_name)  # existence check
         key = (relation_name, column)
         if key in self._indexes:
-            raise ValueError("index on %s.%s already exists" % key)
+            raise ConfigurationError("index on %s.%s already exists" % key)
         self._indexes[key] = index
 
     def index(self, relation_name: str, column: str) -> Optional[Any]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 from typing import List, Optional, Sequence
+from repro.errors import ConfigurationError
 
 
 class EquiDepthHistogram:
@@ -29,9 +30,9 @@ class EquiDepthHistogram:
         total: int,
     ) -> None:
         if len(boundaries) < 1 or len(boundaries) != len(cumulative):
-            raise ValueError("boundaries and cumulative fractions must align")
+            raise ConfigurationError("boundaries and cumulative fractions must align")
         if list(boundaries) != sorted(set(boundaries)):
-            raise ValueError("boundaries must be strictly increasing")
+            raise ConfigurationError("boundaries must be strictly increasing")
         self.boundaries: List[float] = list(boundaries)
         #: cumulative[i] = exact fraction of values <= boundaries[i].
         self.cumulative: List[float] = list(cumulative)
@@ -48,7 +49,7 @@ class EquiDepthHistogram:
         cumulative weight, so heavy hitters do not distort estimates.
         """
         if buckets < 1:
-            raise ValueError("need at least one bucket")
+            raise ConfigurationError("need at least one bucket")
         if not values:
             return None
         ordered = sorted(values)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.tuples import Schema
+from repro.errors import ConfigurationError
 
 
 class Page:
@@ -19,7 +20,7 @@ class Page:
 
     def __init__(self, page_id: int, capacity: int) -> None:
         if capacity < 1:
-            raise ValueError("page capacity must be at least one tuple")
+            raise ConfigurationError("page capacity must be at least one tuple")
         self.page_id = page_id
         self.capacity = capacity
         self._tuples: List[Tuple[Any, ...]] = []

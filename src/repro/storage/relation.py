@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.tuples import Schema
+from repro.errors import ConfigurationError
 
 DEFAULT_PAGE_BYTES = 4096
 
@@ -30,7 +31,7 @@ class Relation:
         page_bytes: int = DEFAULT_PAGE_BYTES,
     ) -> None:
         if not name:
-            raise ValueError("relation name must be non-empty")
+            raise ConfigurationError("relation name must be non-empty")
         self.name = name
         self.schema = schema
         self.page_bytes = page_bytes

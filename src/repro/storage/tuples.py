@@ -13,6 +13,7 @@ import enum
 import operator
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Sequence, Tuple
+from repro.errors import ConfigurationError
 
 
 class DataType(enum.Enum):
@@ -49,11 +50,11 @@ class Field:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("field name must be non-empty")
+            raise ConfigurationError("field name must be non-empty")
         if self.width == 0:
             object.__setattr__(self, "width", _DEFAULT_WIDTHS[self.dtype])
         if self.width <= 0:
-            raise ValueError("field width must be positive")
+            raise ConfigurationError("field width must be positive")
 
 
 class Schema:
@@ -65,10 +66,10 @@ class Schema:
 
     def __init__(self, fields: Sequence[Field]) -> None:
         if not fields:
-            raise ValueError("a schema needs at least one field")
+            raise ConfigurationError("a schema needs at least one field")
         names = [f.name for f in fields]
         if len(set(names)) != len(names):
-            raise ValueError("duplicate field names in schema: %r" % (names,))
+            raise ConfigurationError("duplicate field names in schema: %r" % (names,))
         self._fields: Tuple[Field, ...] = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(self._fields)}
 
@@ -116,7 +117,7 @@ class Schema:
         """How many tuples fit on one ``page_bytes`` page."""
         per_page = page_bytes // self.tuple_bytes
         if per_page < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 "tuple of %d bytes does not fit on a %d-byte page"
                 % (self.tuple_bytes, page_bytes)
             )
@@ -127,7 +128,7 @@ class Schema:
     def validate(self, values: Sequence[Any]) -> Tuple[Any, ...]:
         """Check arity and types; return the values as a plain tuple."""
         if len(values) != len(self._fields):
-            raise ValueError(
+            raise ConfigurationError(
                 "expected %d values, got %d" % (len(self._fields), len(values))
             )
         for value, f in zip(values, self._fields):
@@ -151,7 +152,7 @@ class Schema:
         out: List[Tuple[Any, ...]] = []
         for values in rows:
             if len(values) != n:
-                raise ValueError(
+                raise ConfigurationError(
                     "expected %d values, got %d" % (n, len(values))
                 )
             out.append(tuple(values))

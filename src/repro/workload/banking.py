@@ -16,6 +16,7 @@ import random
 from typing import List, Sequence, Tuple
 
 from repro.recovery.transactions import Operation
+from repro.errors import ConfigurationError
 
 
 class BankingWorkload:
@@ -30,9 +31,9 @@ class BankingWorkload:
         seed: int = 1984,
     ) -> None:
         if n_accounts < 2:
-            raise ValueError("banking needs at least two accounts")
+            raise ConfigurationError("banking needs at least two accounts")
         if not 0 <= transfer_fraction + deposit_fraction <= 1:
-            raise ValueError("fractions must sum to at most 1")
+            raise ConfigurationError("fractions must sum to at most 1")
         self.n_accounts = n_accounts
         self.initial_balance = initial_balance
         self.transfer_fraction = transfer_fraction

@@ -10,12 +10,13 @@ import math
 import random
 import string
 from typing import Iterator, List
+from repro.errors import ConfigurationError
 
 
 def uniform_keys(count: int, domain: int, seed: int = 1984) -> List[int]:
     """``count`` keys drawn uniformly from ``[0, domain)`` (with repeats)."""
     if domain < 1:
-        raise ValueError("domain must be at least 1")
+        raise ConfigurationError("domain must be at least 1")
     rng = random.Random(seed)
     return [rng.randrange(domain) for _ in range(count)]
 
@@ -45,7 +46,7 @@ def zipf_keys(
     the paper leans on degrades as ``theta`` grows.
     """
     if not 0 <= theta < 2:
-        raise ValueError("theta out of the sensible range [0, 2)")
+        raise ConfigurationError("theta out of the sensible range [0, 2)")
     rng = random.Random(seed)
     weights = [1.0 / (rank + 1) ** theta for rank in range(domain)]
     total = sum(weights)

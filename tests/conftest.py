@@ -42,8 +42,26 @@ def chaos_seeds(request) -> list:
 
 from repro.cost.counters import OperationCounters
 from repro.cost.parameters import CostParameters
+from repro.lint.runtime import install_recorder, uninstall_recorder
 from repro.storage.relation import Relation
 from repro.storage.tuples import DataType, Field, Schema
+
+
+@pytest.fixture(autouse=True)
+def lock_order_recorder():
+    """Record every tracked-lock acquisition and fail on ABBA cycles.
+
+    Installed process-wide before each test, so any engine object built
+    inside the test gets TrackedLock instances; teardown asserts the
+    observed acquisition graph is acyclic, making every threaded test
+    double as a lock-order check.
+    """
+    recorder = install_recorder()
+    try:
+        yield recorder
+        recorder.assert_acyclic()
+    finally:
+        uninstall_recorder()
 
 
 @pytest.fixture

@@ -1,0 +1,39 @@
+"""Fixture-tree helpers for the linter tests.
+
+Each test writes a tiny ``repro``-rooted tree under ``tmp_path`` (the
+engine anchors module names at the ``repro`` path segment, so the scope
+prefixes in :class:`~repro.lint.engine.LintConfig` resolve exactly as
+they do against the real package) and runs one checker over it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.lint.engine import Checker, Finding, LintConfig, run_lint
+
+
+def write_module(tmp_path: Path, relpath: str, source: str) -> Path:
+    """Write dedented ``source`` at ``tmp_path/relpath``; return the path."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint(
+    tmp_path: Path,
+    checkers: Sequence[Checker],
+    rules: Optional[Set[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run ``checkers`` over the fixture tree rooted at ``tmp_path``."""
+    return run_lint(
+        paths=[tmp_path], config=config, rules=rules, checkers=checkers
+    )
+
+
+def rules_of(findings: Sequence[Finding]) -> List[str]:
+    return [f.rule for f in findings]
