@@ -1,0 +1,242 @@
+"""E21 -- Multi-session server load: tps and latency vs. session count.
+
+The load driver hammers the banking transfer workload over the real wire
+protocol: each rung of the ladder runs S concurrent client workers, and
+every worker opens, drives, and closes multiple *separate connections*
+(so the run exercises thousands of simulated clients in total, plus the
+connect/disconnect path on every batch).  Each transaction is a
+BEGIN / ADD debit / ADD credit / COMMIT round-trip; COMMIT blocks until
+the transaction's commit group is durable.
+
+The paper's claim under test is the Section 5 pre-commit + group-commit
+design: a single session pays the full group-commit delay per
+transaction, but concurrent sessions share flushes -- committed
+transactions per flush grows with the session count, so aggregate tps
+scales until admission control (the PR-3 governor's concurrency gate) and
+the flush pipeline saturate.  The emitted numbers (``BENCH_PR6.json``)
+record tps, p50/p99 latency, group sizes, and governor admissions per
+rung.
+
+Assertions:
+
+* every rung commits transactions (nonzero tps) and conserves the total
+  balance (transfers never create money);
+* aggregate tps at the best rung beats the single-session rung (group
+  commit earns its keep) -- at full scale by at least 1.5x;
+* the mean durable group size grows from ~1 at S=1 to >1 when sessions
+  pile up;
+* shutdown is clean (no crashed store, no stuck workers).
+
+Knobs: ``REPRO_BENCH_SCALE`` scales connection and transaction counts
+(CI smoke runs 0.25).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List
+
+from repro.errors import AdmissionRejected, ReproError
+from repro.server import DatabaseServer, ServerClient
+
+from conftest import emit, emit_json, format_table
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+SESSION_LADDER = [1, 2, 4, 8, 16, 32, 64]
+if SCALE < 1.0:
+    SESSION_LADDER = [s for s in SESSION_LADDER if s <= 16]
+
+#: Connections per worker per rung and transactions per connection.  At
+#: full scale the ladder totals 127 workers x 16 connections = 2032
+#: simulated clients across the run.
+CONNECTIONS_PER_WORKER = max(2, int(16 * SCALE))
+TXNS_PER_CONNECTION = max(2, int(4 * SCALE))
+
+N_ACCOUNTS = 128
+INITIAL_BALANCE = 1_000
+GROUP_SIZE = 32
+GROUP_DELAY = 0.002
+SEED = 1984
+
+MIN_SCALING = 1.5 if SCALE >= 1.0 else 1.0
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_worker(
+    host: str,
+    port: int,
+    worker_seed: int,
+    latencies: List[float],
+    tallies: Dict[str, int],
+    mu: threading.Lock,
+) -> None:
+    import random
+
+    rng = random.Random(worker_seed)
+    committed = aborted = rejected = connections = 0
+    local_latencies: List[float] = []
+    for _ in range(CONNECTIONS_PER_WORKER):
+        client = ServerClient(host, port)
+        connections += 1
+        for _ in range(TXNS_PER_CONNECTION):
+            src = rng.randrange(N_ACCOUNTS)
+            dst = rng.randrange(N_ACCOUNTS)
+            amount = rng.randrange(1, 100)
+            started = time.perf_counter()
+            try:
+                client.execute("BEGIN")
+                client.execute("ADD %d %d" % (src, -amount))
+                client.execute("ADD %d %d" % (dst, amount))
+                client.execute("COMMIT")
+                committed += 1
+                local_latencies.append(time.perf_counter() - started)
+            except ReproError as exc:
+                # Deadlock victim, lock timeout, or admission rejection:
+                # the transaction (if any) must not leak into the next.
+                aborted += 1
+                if isinstance(exc, AdmissionRejected):
+                    rejected += 1
+                try:
+                    client.execute("ROLLBACK")
+                except ReproError:
+                    pass  # already rolled back (or never began)
+        client.close()
+    with mu:
+        latencies.extend(local_latencies)
+        tallies["committed"] = tallies.get("committed", 0) + committed
+        tallies["aborted"] = tallies.get("aborted", 0) + aborted
+        tallies["rejected"] = tallies.get("rejected", 0) + rejected
+        tallies["connections"] = tallies.get("connections", 0) + connections
+
+
+def run_rung(server: DatabaseServer, sessions: int) -> Dict[str, Any]:
+    host, port = server.address
+    bank = server.manager.bank
+    before_commits = bank.bank_stats()["commits"]
+    before_groups = bank.bank_stats()["groups_flushed"]
+    latencies: List[float] = []
+    tallies: Dict[str, int] = {}
+    mu = threading.Lock()
+    workers = [
+        threading.Thread(
+            target=run_worker,
+            args=(host, port, SEED + sessions * 1000 + i, latencies, tallies, mu),
+        )
+        for i in range(sessions)
+    ]
+    started = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - started
+    stats = bank.bank_stats()
+    commits = stats["commits"] - before_commits
+    groups = stats["groups_flushed"] - before_groups
+    with ServerClient(host, port) as probe:
+        total = probe.value("AUDIT")
+    assert total == N_ACCOUNTS * INITIAL_BALANCE, (
+        "balance not conserved at %d sessions: %d" % (sessions, total)
+    )
+    return {
+        "sessions": sessions,
+        "elapsed_s": elapsed,
+        "tps": tallies.get("committed", 0) / elapsed if elapsed else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1000,
+        "p99_ms": percentile(latencies, 0.99) * 1000,
+        "committed": tallies.get("committed", 0),
+        "aborted": tallies.get("aborted", 0),
+        "admission_rejected": tallies.get("rejected", 0),
+        "connections": tallies.get("connections", 0),
+        "durable_commits": commits,
+        "mean_group_size": (commits / groups) if groups else 0.0,
+    }
+
+
+def test_server_throughput_ladder():
+    server = DatabaseServer(
+        n_accounts=N_ACCOUNTS,
+        initial_balance=INITIAL_BALANCE,
+        group_size=GROUP_SIZE,
+        group_delay=GROUP_DELAY,
+        lock_wait_timeout=10.0,
+        statement_timeout=30.0,
+        workers=max(SESSION_LADDER) + 8,
+    )
+    server.start_in_thread()
+    try:
+        rungs = [run_rung(server, sessions) for sessions in SESSION_LADDER]
+        wire = server.wire_stats()
+        governor = server.manager.db.governor_stats()
+    finally:
+        server.stop()
+    assert server.manager.bank.bank_stats()["crashed"] is False
+
+    headers = [
+        "sessions", "tps", "p50 ms", "p99 ms",
+        "committed", "aborted", "conns", "grp size",
+    ]
+    rows = [
+        (
+            r["sessions"], "%.0f" % r["tps"], "%.2f" % r["p50_ms"],
+            "%.2f" % r["p99_ms"], r["committed"], r["aborted"],
+            r["connections"], "%.2f" % r["mean_group_size"],
+        )
+        for r in rungs
+    ]
+    lines = format_table(headers, rows)
+    lines.append("")
+    lines.append(
+        "total connections: %d, frames: %d in / %d out, admitted: %d"
+        % (
+            sum(r["connections"] for r in rungs),
+            wire["frames_in"],
+            wire["frames_out"],
+            governor.get("admitted", 0),
+        )
+    )
+    emit("bench_server", lines)
+    emit_json(
+        "bench_server",
+        {
+            "experiment": "E21",
+            "scale": SCALE,
+            "config": {
+                "n_accounts": N_ACCOUNTS,
+                "initial_balance": INITIAL_BALANCE,
+                "group_size": GROUP_SIZE,
+                "group_delay_s": GROUP_DELAY,
+                "connections_per_worker": CONNECTIONS_PER_WORKER,
+                "txns_per_connection": TXNS_PER_CONNECTION,
+            },
+            "rungs": rungs,
+            "wire": wire,
+            "governor": governor,
+        },
+        root_copy="BENCH_PR6.json",
+    )
+
+    # Nonzero throughput everywhere; scaling up to saturation.
+    for rung in rungs:
+        assert rung["committed"] > 0, rung
+        assert rung["tps"] > 0, rung
+    single = rungs[0]["tps"]
+    peak = max(r["tps"] for r in rungs)
+    assert peak >= MIN_SCALING * single, (
+        "group commit failed to scale: single=%.0f tps, peak=%.0f tps"
+        % (single, peak)
+    )
+    # Group commit batches under load: the best rung's durable groups
+    # must average more than one transaction.
+    busiest = max(rungs, key=lambda r: r["sessions"])
+    assert busiest["mean_group_size"] > 1.0, busiest

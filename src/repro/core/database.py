@@ -299,18 +299,46 @@ class MainMemoryDatabase:
 
     # -- SQL front end --------------------------------------------------------------------
 
-    def sql(self, text: str) -> Relation:
+    def sql(self, text: str, timeout: Optional[float] = None) -> Relation:
         """Parse, plan, and execute a SQL query (see repro.planner.sql
-        for the supported fragment)."""
+        for the supported fragment).  ``timeout`` bounds admission plus
+        execution exactly like :meth:`execute`."""
         from repro.planner.sql import parse_sql
 
-        return self.execute(parse_sql(text, self.catalog))
+        return self.execute(parse_sql(text, self.catalog), timeout=timeout)
 
     def sql_explain(self, text: str) -> str:
         """The optimized plan for a SQL query, as text."""
         from repro.planner.sql import parse_sql
 
         return self.explain(parse_sql(text, self.catalog))
+
+    # -- multi-session serving (docs/SERVER.md) -------------------------------------------
+
+    def session_manager(self, **kwargs: Any):
+        """A :class:`~repro.server.session.SessionManager` over this
+        facade: per-session transactions against the Section 5 bank
+        store, SQL statements against this catalog, admission through
+        this governor.  Keyword arguments go to the manager (bank sizing,
+        statement timeout, group-commit knobs)."""
+        from repro.server.session import SessionManager
+
+        return SessionManager(db=self, **kwargs)
+
+    def serve(
+        self, host: str = "127.0.0.1", port: int = 0, **kwargs: Any
+    ):
+        """Start a :class:`~repro.server.net.DatabaseServer` for this
+        facade on a background thread and return it (its ``address``
+        holds the bound host/port).  Call ``stop()`` on the returned
+        server to shut down."""
+        from repro.server.net import DatabaseServer
+
+        server = DatabaseServer(
+            manager=self.session_manager(**kwargs), host=host, port=port
+        )
+        server.start_in_thread()
+        return server
 
     # -- durability (Section 5) -----------------------------------------------------------
 

@@ -76,6 +76,38 @@ class QueryTimeout(GovernorError):
     """The query exceeded its deadline (admission wait or execution)."""
 
 
+class SessionError(ReproError):
+    """Base class for multi-session server errors (repro.server)."""
+
+
+class ProtocolError(SessionError, ValueError):
+    """A malformed, oversized, or truncated wire frame."""
+
+
+class TransactionAborted(SessionError):
+    """The session's open transaction was rolled back by the system.
+
+    ``reason`` is machine-readable: ``"deadlock"`` (this transaction was
+    the victim closing a wait-for cycle), ``"lock-timeout"`` (a lock wait
+    exceeded its bound), ``"disconnect"`` (the client vanished
+    mid-transaction), or ``"crash"`` (the server crashed before the
+    commit group reached the durable log).
+    """
+
+    def __init__(self, message: str, reason: str = "deadlock") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class WouldBlock(SessionError):
+    """A non-blocking lock request is queued but not yet granted.
+
+    Raised only in ``wait=False`` mode (the deterministic-schedule test
+    harness); the request stays on the lock's FIFO queue, so the caller
+    retries the same statement after other sessions make progress.
+    """
+
+
 class QueryCancelled(GovernorError):
     """The query was cancelled via ``db.cancel(qid)`` / token.cancel()."""
 
@@ -94,10 +126,14 @@ __all__ = [
     "ConfigurationError",
     "GovernorError",
     "PlannerError",
+    "ProtocolError",
     "QueryCancelled",
     "QueryTimeout",
     "ReproError",
+    "SessionError",
     "StateError",
+    "TransactionAborted",
     "UnplannableQueryError",
     "WorkerPoolError",
+    "WouldBlock",
 ]

@@ -41,7 +41,17 @@ from repro.storage.catalog import Catalog
 
 
 class SqlError(PlannerError):
-    """Raised for syntax or resolution errors, with position context."""
+    """Raised for syntax or resolution errors, with position context.
+
+    ``position`` is the 0-based character offset of the offending token in
+    the statement text (``None`` when the error has no single anchor, e.g.
+    a GROUP BY / select-list mismatch).  The server protocol forwards it so
+    clients can point at the exact spot in the statement they sent.
+    """
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.position = position
 
 
 _KEYWORDS = {
@@ -92,7 +102,8 @@ def _tokenize(text: str) -> List[_Token]:
                 break
             raise SqlError(
                 "cannot tokenize SQL at position %d: %r"
-                % (pos, text[pos:pos + 20])
+                % (pos, text[pos:pos + 20]),
+                position=pos,
             )
         pos = match.end()
         for kind in ("number", "string", "name", "op", "punct"):
@@ -100,9 +111,9 @@ def _tokenize(text: str) -> List[_Token]:
             if value is None:
                 continue
             if kind == "name" and value.lower() in _KEYWORDS:
-                tokens.append(_Token("keyword", value.lower(), match.start()))
+                tokens.append(_Token("keyword", value.lower(), match.start(kind)))
             else:
-                tokens.append(_Token(kind, value, match.start()))
+                tokens.append(_Token(kind, value, match.start(kind)))
             break
     tokens.append(_Token("eof", "", len(text)))
     return tokens
@@ -138,20 +149,28 @@ class _Parser:
             got = self.peek()
             raise SqlError(
                 "expected %s at position %d, got %r"
-                % (value or kind, got.pos, got.value or "<end>")
+                % (value or kind, got.pos, got.value or "<end>"),
+                position=got.pos,
             )
         return tok
 
     # -- resolution -----------------------------------------------------------------
 
-    def resolve_column(self, name: str) -> Tuple[str, str]:
+    def resolve_column(
+        self, name: str, pos: Optional[int] = None
+    ) -> Tuple[str, str]:
         """Resolve ``col`` or ``table.col`` to (table, column)."""
         if "." in name:
             table, column = name.split(".", 1)
             if table not in self.tables:
-                raise SqlError("unknown table %r in %r" % (table, name))
+                raise SqlError(
+                    "unknown table %r in %r" % (table, name), position=pos
+                )
             if not self.catalog.relation(table).schema.has_field(column):
-                raise SqlError("table %r has no column %r" % (table, column))
+                raise SqlError(
+                    "table %r has no column %r" % (table, column),
+                    position=pos,
+                )
             return table, column
         owners = [
             t
@@ -159,10 +178,11 @@ class _Parser:
             if self.catalog.relation(t).schema.has_field(name)
         ]
         if not owners:
-            raise SqlError("unknown column %r" % name)
+            raise SqlError("unknown column %r" % name, position=pos)
         if len(owners) > 1:
             raise SqlError(
-                "ambiguous column %r (in tables %s)" % (name, sorted(owners))
+                "ambiguous column %r (in tables %s)" % (name, sorted(owners)),
+                position=pos,
             )
         return owners[0], name
 
@@ -179,31 +199,41 @@ class _Parser:
             more_joins = self._where(predicates)
             joins.extend(more_joins)
         group_by: List[str] = []
-        if self.accept("keyword", "group"):
+        group_tok = self.accept("keyword", "group")
+        if group_tok is not None:
             self.expect("keyword", "by")
             group_by = self._column_list()
         self.expect("eof")
-        return self._build_query(items, distinct, joins, predicates, group_by)
+        return self._build_query(
+            items,
+            distinct,
+            joins,
+            predicates,
+            group_by,
+            group_pos=group_tok.pos if group_tok is not None else None,
+        )
 
-    def _select_items(self) -> List[Tuple[str, Any]]:
-        """Each item is ('star', None) | ('column', name) |
-        ('agg', AggregateSpec)."""
-        if self.accept("punct", "*"):
-            return [("star", None)]
-        items: List[Tuple[str, Any]] = []
+    def _select_items(self) -> List[Tuple[str, Any, int]]:
+        """Each item is ('star', None, pos) | ('column', name, pos) |
+        ('agg', raw aggregate, pos)."""
+        star = self.accept("punct", "*")
+        if star is not None:
+            return [("star", None, star.pos)]
+        items: List[Tuple[str, Any, int]] = []
         while True:
             tok = self.peek()
             if tok.kind == "name" and tok.value.lower() in _AGGREGATES:
                 nxt = self.tokens[self.i + 1]
                 if nxt.kind == "punct" and nxt.value == "(":
-                    items.append(("agg", self._aggregate()))
+                    items.append(("agg", self._aggregate(), tok.pos))
                 else:
-                    items.append(("column", self.next().value))
+                    items.append(("column", self.next().value, tok.pos))
             elif tok.kind == "name":
-                items.append(("column", self.next().value))
+                items.append(("column", self.next().value, tok.pos))
             else:
                 raise SqlError(
-                    "expected a column or aggregate at position %d" % tok.pos
+                    "expected a column or aggregate at position %d" % tok.pos,
+                    position=tok.pos,
                 )
             if not self.accept("punct", ","):
                 return items
@@ -211,11 +241,15 @@ class _Parser:
     def _aggregate(self) -> Tuple[AggregateFunction, Optional[str], Optional[str]]:
         """Raw (func, column name, alias); the column resolves later,
         once FROM has populated the table list."""
-        func = _AGGREGATES[self.next().value.lower()]
+        func_tok = self.next()
+        func = _AGGREGATES[func_tok.value.lower()]
         self.expect("punct", "(")
         if self.accept("punct", "*"):
             if func is not AggregateFunction.COUNT:
-                raise SqlError("%s(*) is not valid SQL here" % func.value)
+                raise SqlError(
+                    "%s(*) is not valid SQL here" % func.value,
+                    position=func_tok.pos,
+                )
             column: Optional[str] = None
         else:
             column = self.expect("name").value
@@ -226,41 +260,45 @@ class _Parser:
         return func, column, alias
 
     def _resolved_column_name(self) -> str:
-        name = self.expect("name").value
-        _, column = self.resolve_column(name)
+        tok = self.expect("name")
+        _, column = self.resolve_column(tok.value, pos=tok.pos)
         return column
 
     def _tables_and_joins(self) -> List[JoinClause]:
         joins: List[JoinClause] = []
-        first = self.expect("name").value
-        self._register_table(first)
+        self._register_table(self.expect("name"))
         while True:
             if self.accept("punct", ","):
-                self._register_table(self.expect("name").value)
+                self._register_table(self.expect("name"))
             elif self.accept("keyword", "join"):
-                table = self.expect("name").value
-                self._register_table(table)
+                self._register_table(self.expect("name"))
                 self.expect("keyword", "on")
                 joins.append(self._equijoin())
             else:
                 return joins
 
-    def _register_table(self, name: str) -> None:
+    def _register_table(self, tok: _Token) -> None:
+        name = tok.value
         if not self.catalog.has_relation(name):
-            raise SqlError("unknown table %r" % name)
+            raise SqlError("unknown table %r" % name, position=tok.pos)
         if name in self.tables:
-            raise SqlError("table %r listed twice (aliases unsupported)" % name)
+            raise SqlError(
+                "table %r listed twice (aliases unsupported)" % name,
+                position=tok.pos,
+            )
         self.tables.append(name)
 
     def _equijoin(self) -> JoinClause:
-        left = self.expect("name").value
+        left = self.expect("name")
         self.expect("op", "=")
-        right = self.expect("name").value
-        lt, lc = self.resolve_column(left)
-        rt, rc = self.resolve_column(right)
+        right = self.expect("name")
+        lt, lc = self.resolve_column(left.value, pos=left.pos)
+        rt, rc = self.resolve_column(right.value, pos=right.pos)
         if lt == rt:
             raise SqlError(
-                "join condition %s = %s stays within one table" % (left, right)
+                "join condition %s = %s stays within one table"
+                % (left.value, right.value),
+                position=left.pos,
             )
         return JoinClause(lt, lc, rt, rc)
 
@@ -293,8 +331,8 @@ class _Parser:
                 and after.kind == "name"
                 and after.value.lower() not in _KEYWORDS
             ):
-                lt, _ = self.resolve_column(tok.value)
-                rt, _ = self.resolve_column(after.value)
+                lt, _ = self.resolve_column(tok.value, pos=tok.pos)
+                rt, _ = self.resolve_column(after.value, pos=after.pos)
                 if lt != rt:
                     joins.append(self._equijoin())
                     return
@@ -311,11 +349,13 @@ class _Parser:
                 combine = And
             else:
                 return table, pred
+            leg_pos = self.peek().pos
             table2, pred2 = self._predicate()
             if table2 != table:
                 raise SqlError(
                     "predicates inside parentheses must reference one "
-                    "table; got %r and %r" % (table, table2)
+                    "table; got %r and %r" % (table, table2),
+                    position=leg_pos,
                 )
             pred = combine(pred, pred2)
 
@@ -327,14 +367,16 @@ class _Parser:
             table, pred = self._or_expression()
             self.expect("punct", ")")
             return table, pred
-        name = self.expect("name").value
-        table, column = self.resolve_column(name)
+        name_tok = self.expect("name")
+        table, column = self.resolve_column(name_tok.value, pos=name_tok.pos)
         if self.accept("keyword", "like"):
-            pattern = self._string_literal()
+            pattern_tok = self.expect("string")
+            pattern = pattern_tok.value[1:-1].replace("''", "'")
             if not pattern.endswith("%") or "%" in pattern[:-1] or not pattern[:-1]:
                 raise SqlError(
                     "only prefix LIKE patterns ('J%%') are supported; "
-                    "got %r" % pattern
+                    "got %r" % pattern,
+                    position=pattern_tok.pos,
                 )
             return table, Prefix(column, pattern[:-1])
         op_tok = self.expect("op")
@@ -348,7 +390,9 @@ class _Parser:
             return float(tok.value) if "." in tok.value else int(tok.value)
         if tok.kind == "string":
             return tok.value[1:-1].replace("''", "'")
-        raise SqlError("expected a literal at position %d" % tok.pos)
+        raise SqlError(
+            "expected a literal at position %d" % tok.pos, position=tok.pos
+        )
 
     def _string_literal(self) -> str:
         tok = self.expect("string")
@@ -362,33 +406,46 @@ class _Parser:
 
     # -- assembly -------------------------------------------------------------------------
 
-    def _build_query(self, items, distinct, joins, predicates, group_by) -> Query:
+    def _build_query(
+        self, items, distinct, joins, predicates, group_by, group_pos=None
+    ) -> Query:
         aggregates = [
             AggregateSpec(
                 func,
-                self.resolve_column(col)[1] if col is not None else None,
+                self.resolve_column(col, pos=pos)[1] if col is not None else None,
                 alias,
             )
-            for kind, (func, col, alias) in (
-                (k, v) for k, v in items if k == "agg"
+            for (func, col, alias), pos in (
+                (v, p) for k, v, p in items if k == "agg"
             )
         ]
-        columns = [
-            self.resolve_column(name)[1]
-            for kind, name in items
+        column_items = [
+            (self.resolve_column(name, pos=pos)[1], pos)
+            for kind, name, pos in items
             if kind == "column"
         ]
-        is_star = any(kind == "star" for kind, _ in items)
+        columns = [name for name, _ in column_items]
+        is_star = any(kind == "star" for kind, _, _ in items)
 
         if aggregates:
             if is_star:
-                raise SqlError("SELECT * cannot be mixed with aggregates")
+                star_pos = next(p for k, _, p in items if k == "star")
+                raise SqlError(
+                    "SELECT * cannot be mixed with aggregates",
+                    position=star_pos,
+                )
             implied = group_by or columns
             if sorted(columns) != sorted(implied if not group_by else group_by):
                 if group_by and sorted(columns) != sorted(group_by):
+                    offenders = [
+                        pos
+                        for name, pos in column_items
+                        if name not in group_by
+                    ]
                     raise SqlError(
                         "non-aggregated columns %r must match GROUP BY %r"
-                        % (columns, group_by)
+                        % (columns, group_by),
+                        position=offenders[0] if offenders else group_pos,
                     )
             return Query(
                 tables=self.tables,
@@ -398,7 +455,10 @@ class _Parser:
                 aggregates=aggregates,
             )
         if group_by:
-            raise SqlError("GROUP BY without aggregates; add one or drop it")
+            raise SqlError(
+                "GROUP BY without aggregates; add one or drop it",
+                position=group_pos,
+            )
         projection = None if is_star else columns
         return Query(
             tables=self.tables,

@@ -1,0 +1,119 @@
+"""A blocking client for the statement/result protocol.
+
+Thin by design: one socket, one in-flight request at a time, typed errors
+re-raised as their taxonomy classes (``except QueryTimeout`` behaves the
+same over the wire as in-process).  The load driver opens many of these
+from worker threads; the differential test uses one to mirror the
+in-process path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.server.protocol import FrameDecoder, encode_frame, raise_error, request
+
+_READ_CHUNK = 64 * 1024
+_LINGER_RST = struct.pack("ii", 1, 0)
+
+
+class ServerClient:
+    """One connection; statements go out, results or typed errors come
+    back."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder()
+        self._ids = itertools.count(1)
+        self.closed = False
+        hello = self._recv()
+        if hello.get("kind") != "hello":
+            raise ProtocolError(
+                "expected a hello frame, got %r" % (hello.get("kind"),)
+            )
+        #: Server-assigned session id for this connection.
+        self.session_id: int = hello["session"]
+
+    # -- request/response ---------------------------------------------------------
+
+    def _recv(self) -> Dict[str, Any]:
+        while True:
+            messages = self._decoder.feed(b"")
+            if messages:
+                return messages[0]
+            data = self._sock.recv(_READ_CHUNK)
+            if not data:
+                raise ProtocolError(
+                    "connection closed by server (%d bytes pending)"
+                    % self._decoder.pending_bytes
+                )
+            messages = self._decoder.feed(data)
+            if messages:
+                return messages[0]
+
+    def execute(self, stmt: str) -> Dict[str, Any]:
+        """Run one statement; returns the response payload, or raises the
+        server's error as its typed taxonomy class."""
+        if self.closed:
+            raise ProtocolError("client is closed")
+        msg_id = next(self._ids)
+        self._sock.sendall(encode_frame(request(stmt, msg_id)))
+        response = self._recv()
+        if not response.get("ok"):
+            raise_error(response.get("error") or {})
+        return response
+
+    # -- conveniences --------------------------------------------------------------
+
+    def rows(self, stmt: str) -> List[List[Any]]:
+        """The result rows of a SQL statement."""
+        return self.execute(stmt).get("rows", [])
+
+    def value(self, stmt: str) -> Any:
+        """The scalar result of a bank statement (GET/ADD/SET/AUDIT)."""
+        return self.execute(stmt).get("value")
+
+    def counters(self, stmt: str) -> Tuple[List[List[Any]], Dict[str, int]]:
+        """Rows plus the per-statement operation-counter deltas."""
+        response = self.execute(stmt)
+        return response.get("rows", []), response.get("counters", {})
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Orderly goodbye (FIN); the server rolls back any open
+        transaction."""
+        if not self.closed:
+            self.closed = True
+            self._sock.close()
+
+    def kill(self) -> None:
+        """Abrupt disconnect (RST, no goodbye) -- the chaos tests' client
+        that vanishes mid-transaction."""
+        if not self.closed:
+            self.closed = True
+            self._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, _LINGER_RST
+            )
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "ServerClient(session=%d%s)" % (
+            self.session_id,
+            ", closed" if self.closed else "",
+        )
+
+
+__all__ = ["ServerClient"]

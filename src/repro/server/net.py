@@ -1,0 +1,235 @@
+"""The asyncio socket server: N concurrent connections, one session each.
+
+The event loop owns the sockets; statement execution happens on a thread
+pool (statements block -- on record locks, on governor admission, on the
+group-commit flush -- and must not stall the loop).  Each accepted
+connection gets a fresh :class:`~repro.server.session.Session`; the
+server greets it with a ``hello`` frame carrying the session id, then
+answers every request frame with exactly one response frame.
+
+Failure semantics (the chaos tests drive all three):
+
+* **Client disconnect** (EOF or reset) mid-transaction: the connection
+  handler closes the session, which rolls the open transaction back with
+  reason ``"disconnect"`` and releases its locks.
+* **Typed errors** never kill the connection: they are encoded with
+  :func:`~repro.server.protocol.error_payload` (including the
+  ``txn_aborted`` flag when the statement's failure also rolled the
+  session's transaction back) and the conversation continues.
+* **Server crash** (:meth:`DatabaseServer.crash`): the store loses its
+  volatile state mid-commit, every session dies, every connection is
+  severed; :meth:`DatabaseServer.recover` restores the durable image and
+  new connections proceed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import ProtocolError, ReproError, StateError
+from repro.server.protocol import FrameDecoder, encode_frame, error_payload
+from repro.server.session import Session, SessionManager
+
+_READ_CHUNK = 64 * 1024
+
+
+class DatabaseServer:
+    """Serve a :class:`SessionManager` over a TCP socket."""
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 32,
+        **manager_kwargs: Any,
+    ) -> None:
+        self.manager = (
+            manager if manager is not None else SessionManager(**manager_kwargs)
+        )
+        self.host = host
+        self.port = port
+        #: (host, port) actually bound, available once serving starts.
+        self.address: Optional[Tuple[str, int]] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="stmt"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        # Wire statistics (loop-thread only, no lock needed).
+        self.connections_accepted = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.errors_returned = 0
+        self.disconnects = 0
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        self._writers.add(writer)
+        session = self.manager.open_session()
+        decoder = FrameDecoder()
+        try:
+            await self._send(
+                writer,
+                {"ok": True, "kind": "hello", "session": session.session_id},
+            )
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                try:
+                    messages = decoder.feed(data)
+                except ProtocolError as exc:
+                    # Framing is broken; report once and hang up.
+                    await self._send(
+                        writer, {"ok": False, "error": error_payload(exc)}
+                    )
+                    self.errors_returned += 1
+                    break
+                for message in messages:
+                    self.frames_in += 1
+                    response = await self._respond(session, message)
+                    await self._send(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown (stop()): finish cleanly so the session
+            # still gets closed below.
+            pass
+        finally:
+            self.disconnects += 1
+            self._writers.discard(writer)
+            self.manager.close_session(session.session_id, "disconnect")
+            writer.close()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(encode_frame(payload))
+        self.frames_out += 1
+        await writer.drain()
+
+    async def _respond(
+        self, session: Session, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        msg_id = message.get("id")
+        stmt = message.get("stmt")
+        if not isinstance(stmt, str):
+            self.errors_returned += 1
+            error = error_payload(
+                ProtocolError("request frame needs a string 'stmt' field")
+            )
+            return {"id": msg_id, "ok": False, "error": error}
+        had_txn = session.txn is not None
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._pool, session.execute, stmt
+            )
+            return result.payload(msg_id)
+        except ReproError as exc:
+            self.errors_returned += 1
+            aborted = had_txn and session.txn is None
+            return {
+                "id": msg_id,
+                "ok": False,
+                "error": error_payload(exc, txn_aborted=aborted),
+            }
+
+    # -- serving -----------------------------------------------------------------
+
+    async def serve(self, started: Optional[threading.Event] = None) -> None:
+        """Bind and serve until :meth:`stop` is called."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        if started is not None:
+            started.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            for writer in list(self._writers):
+                writer.close()
+            self._writers.clear()
+
+    def start_in_thread(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Run the event loop on a background thread; returns the bound
+        (host, port) once the server is accepting connections."""
+        if self._thread is not None:
+            raise StateError("the server is already running")
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.serve(started)),
+            name="db-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise StateError("server failed to start within %.3gs" % timeout)
+        if self.address is None:
+            raise StateError("server started but never bound an address")
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving, sever connections, shut the engine down."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._pool.shutdown(wait=False)
+        self.manager.close()
+
+    # -- fault injection ----------------------------------------------------------
+
+    def crash(self) -> Dict[str, int]:
+        """Crash the store (volatile state lost, sessions severed) and
+        drop every connection, as a power cut would."""
+        report = self.manager.crash()
+        loop = self._loop
+        if loop is not None:
+
+            def _sever() -> None:
+                for writer in list(self._writers):
+                    writer.close()
+                self._writers.clear()
+
+            loop.call_soon_threadsafe(_sever)
+        return report
+
+    def recover(self) -> Dict[str, Any]:
+        """Recover the store from its durable log; the server keeps
+        accepting connections throughout."""
+        return self.manager.recover()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def wire_stats(self) -> Dict[str, int]:
+        return {
+            "connections_accepted": self.connections_accepted,
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "errors_returned": self.errors_returned,
+            "disconnects": self.disconnects,
+        }
+
+    def __repr__(self) -> str:
+        return "DatabaseServer(%s, %d connections)" % (
+            self.address,
+            self.connections_accepted,
+        )
+
+
+__all__ = ["DatabaseServer"]

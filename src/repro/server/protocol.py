@@ -1,0 +1,211 @@
+"""The wire protocol: length-prefixed JSON statement/result frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The client sends request frames::
+
+    {"id": 7, "stmt": "SELECT name FROM emp WHERE salary > 50000"}
+
+and the server answers each with exactly one response frame, either a
+result::
+
+    {"id": 7, "ok": true, "kind": "rows",
+     "columns": ["name"], "rows": [["Smith"], ["Jackson"]],
+     "counters": {"comparisons": 6, ...}, "meta": {...}}
+
+or a typed error (the taxonomy class name travels with the message, plus
+the machine-readable fields clients need: the statement ``position`` for
+:class:`~repro.planner.sql.SqlError`, the admission ``reason`` for
+:class:`~repro.errors.AdmissionRejected`, the abort ``reason`` for
+:class:`~repro.errors.TransactionAborted`, and ``txn_aborted`` whenever
+the error also rolled the session's open transaction back)::
+
+    {"id": 7, "ok": false,
+     "error": {"type": "SqlError", "message": "unknown column 'wat'",
+               "position": 7}}
+
+Frames are bounded by :data:`MAX_FRAME_BYTES`; anything larger, truncated,
+or non-JSON raises :class:`~repro.errors.ProtocolError`.  The framing is
+symmetric -- both sides use :func:`encode_frame` and :class:`FrameDecoder`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    AdmissionRejected,
+    GovernorError,
+    PlannerError,
+    ProtocolError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    SessionError,
+    StateError,
+    TransactionAborted,
+    UnplannableQueryError,
+)
+from repro.planner.sql import SqlError
+
+#: Hard per-frame ceiling (requests and responses alike).  Statements are
+#: human-sized; result sets over the banking workload fit comfortably.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one message to ``length || utf-8 json`` bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit"
+            % (len(body), MAX_FRAME_BYTES)
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body (the bytes after the length prefix)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame body is not UTF-8 JSON: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "frame body must be a JSON object, got %s"
+            % type(payload).__name__
+        )
+    return payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    Feed whatever chunks the transport produces; complete messages come
+    back in order.  The decoder validates the length prefix eagerly so an
+    oversized frame is rejected before its body is buffered.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every message it completed."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    "incoming frame of %d bytes exceeds the %d-byte limit"
+                    % (length, self.max_frame)
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return messages
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(decode_body(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# -- typed errors over the wire ------------------------------------------------
+
+#: Taxonomy classes a response error payload can name.  The client
+#: re-raises the *same* class, so ``except QueryTimeout`` works identically
+#: in-process and across the wire.
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        AdmissionRejected,
+        GovernorError,
+        PlannerError,
+        ProtocolError,
+        QueryCancelled,
+        QueryTimeout,
+        ReproError,
+        SessionError,
+        SqlError,
+        StateError,
+        TransactionAborted,
+        UnplannableQueryError,
+    )
+}
+
+
+def error_payload(exc: BaseException, txn_aborted: bool = False) -> Dict[str, Any]:
+    """Encode an exception for the wire (typed fields included)."""
+    name = type(exc).__name__
+    if name not in _ERROR_TYPES:
+        # Unknown subtype: degrade to the nearest named ancestor.
+        for cls in type(exc).__mro__:
+            if cls.__name__ in _ERROR_TYPES:
+                name = cls.__name__
+                break
+        else:
+            name = "ReproError"
+    error: Dict[str, Any] = {"type": name, "message": str(exc)}
+    position = getattr(exc, "position", None)
+    if position is not None:
+        error["position"] = position
+    qid = getattr(exc, "qid", None)
+    if qid is not None:
+        error["qid"] = qid
+    reason = getattr(exc, "reason", None)
+    if reason is not None:
+        error["reason"] = reason
+    if txn_aborted:
+        error["txn_aborted"] = True
+    return error
+
+
+def raise_error(error: Dict[str, Any]) -> None:
+    """Re-raise a response's error payload as its taxonomy class."""
+    name = error.get("type", "ReproError")
+    message = error.get("message", "unknown server error")
+    cls = _ERROR_TYPES.get(name, ReproError)
+    exc: ReproError
+    if cls is SqlError:
+        exc = SqlError(message, position=error.get("position"))
+    elif cls is AdmissionRejected:
+        exc = AdmissionRejected(
+            message, qid=error.get("qid"), reason=error.get("reason", "queue-full")
+        )
+    elif cls is TransactionAborted:
+        exc = TransactionAborted(message, reason=error.get("reason", "deadlock"))
+    elif issubclass(cls, GovernorError):
+        exc = cls(message, qid=error.get("qid"))
+    else:
+        exc = cls(message)
+    for key in ("position", "reason", "txn_aborted"):
+        if key in error and not hasattr(exc, key):
+            setattr(exc, key, error[key])
+    raise exc
+
+
+def request(stmt: str, msg_id: Optional[int] = None) -> Dict[str, Any]:
+    """Build a request payload."""
+    payload: Dict[str, Any] = {"stmt": stmt}
+    if msg_id is not None:
+        payload["id"] = msg_id
+    return payload
+
+
+__all__ = [
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "decode_body",
+    "encode_frame",
+    "error_payload",
+    "raise_error",
+    "request",
+]

@@ -1,0 +1,466 @@
+"""Sessions: per-connection transaction state over the shared engine.
+
+A :class:`SessionManager` owns one :class:`~repro.core.MainMemoryDatabase`
+(the relational facade) and one :class:`~repro.server.bank.BankStore` (the
+Section 5 transactional record store); each connected client gets a
+:class:`Session` that executes statements against both.
+
+The statement language is deliberately tiny.  Bank statements drive the
+concurrent transactional workload::
+
+    BEGIN                  open a transaction
+    GET <record>           read a balance          (S lock)
+    ADD <record> <delta>   add to a balance        (X lock)
+    SET <record> <value>   overwrite a balance     (X lock)
+    COMMIT                 pre-commit, group-commit, wait for durability
+    ROLLBACK               undo and release locks
+    AUDIT                  sum of all balances (no locks; quiescent only)
+    FLUSH                  barrier-flush the open commit group
+    PING / STATS           liveness and introspection
+
+and anything else is handed to the SQL front end
+(:func:`repro.planner.sql.parse_sql` -> planner -> executor), so the full
+``tests/test_sql.py`` corpus runs over the wire.
+
+Concurrency contract:
+
+* **Bank statements interleave freely** -- that is the point.  Each
+  record-touching statement (GET/ADD/SET) is first admitted through the
+  PR-3 governor (one page, the session's statement timeout), so admission
+  control throttles the transactional load exactly like query load.
+  Outside an open transaction these statements autocommit (implicit
+  BEGIN + COMMIT around the single statement).
+* **SQL statements serialize** on the manager's ``_sql_mu``: the
+  relational facade (catalog, reuse cache, shared counters) is built
+  single-threaded, and serializing here is what makes the per-statement
+  counter deltas exact -- the differential test asserts byte-for-byte
+  equality between the wire path and in-process execution.  Admission
+  still applies (``db.execute`` admits internally).
+* **Per-session reuse views**: under ``_sql_mu`` the session diffs the
+  shared :class:`~repro.planner.reuse.PlanReuseCache` statistics around
+  its statement, accumulating a private view of *its own* hits/misses --
+  the shared cache stays shared (that is what makes cross-session reuse
+  work), but each session can see what it contributed.
+
+Aborts initiated by the system (deadlock victim, lock-wait timeout,
+crash) roll the transaction back inside the store; the session clears its
+transaction handle so the client's next statement starts clean, and the
+wire layer flags the response with ``txn_aborted``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.database import MainMemoryDatabase
+from repro.errors import (
+    QueryTimeout,
+    SessionError,
+    StateError,
+    TransactionAborted,
+)
+from repro.lint.runtime import tracked_lock
+from repro.planner.sql import SqlError
+from repro.server.bank import BankStore
+
+#: Reuse-cache statistic keys a session's view accumulates.
+_REUSE_KEYS = ("hits", "misses", "invalidations", "evictions")
+
+_TOKEN = re.compile(r"\S+")
+
+
+@dataclass
+class StatementResult:
+    """One statement's outcome, ready for the wire or direct use.
+
+    ``kind`` is ``"rows"`` (SQL result set), ``"value"`` (a scalar from a
+    bank statement), or ``"ok"`` (an acknowledgement).
+    """
+
+    kind: str
+    columns: Optional[List[str]] = None
+    rows: Optional[List[List[Any]]] = None
+    value: Any = None
+    counters: Optional[Dict[str, int]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def payload(self, msg_id: Optional[int] = None) -> Dict[str, Any]:
+        """The JSON-serialisable response body."""
+        out: Dict[str, Any] = {"ok": True, "kind": self.kind}
+        if msg_id is not None:
+            out["id"] = msg_id
+        if self.columns is not None:
+            out["columns"] = self.columns
+            out["rows"] = self.rows if self.rows is not None else []
+        if self.kind == "value":
+            out["value"] = self.value
+        if self.counters is not None:
+            out["counters"] = self.counters
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+def _tokenize(stmt: str) -> List[Tuple[str, int]]:
+    return [(m.group(), m.start()) for m in _TOKEN.finditer(stmt)]
+
+
+def _int_arg(tokens: List[Tuple[str, int]], index: int, what: str) -> int:
+    if index >= len(tokens):
+        last = tokens[-1]
+        raise SqlError(
+            "missing %s" % what, position=last[1] + len(last[0])
+        )
+    text, pos = tokens[index]
+    try:
+        return int(text)
+    except ValueError:
+        raise SqlError(
+            "expected integer %s, got %r" % (what, text), position=pos
+        ) from None
+
+
+def _exact_arity(tokens: List[Tuple[str, int]], arity: int) -> None:
+    if len(tokens) > arity:
+        text, pos = tokens[arity]
+        raise SqlError(
+            "unexpected trailing token %r" % text, position=pos
+        )
+
+
+class Session:
+    """One client's statement-execution context."""
+
+    def __init__(self, manager: "SessionManager", session_id: int) -> None:
+        self.manager = manager
+        self.session_id = session_id
+        #: Open bank transaction id, or None.
+        self.txn: Optional[int] = None
+        self.closed = False
+        self.statements = 0
+        self.autocommits = 0
+        #: This session's private view of shared reuse-cache activity.
+        self.reuse_view: Dict[str, int] = {k: 0 for k in _REUSE_KEYS}
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def execute(self, stmt: str) -> StatementResult:
+        """Run one statement; raises taxonomy errors on failure."""
+        if self.closed:
+            raise SessionError("session %d is closed" % self.session_id)
+        self.statements += 1
+        tokens = _tokenize(stmt)
+        if not tokens:
+            raise SqlError("empty statement", position=0)
+        verb = tokens[0][0].upper()
+        handler = self._HANDLERS.get(verb)
+        if handler is not None:
+            return handler(self, tokens)
+        return self._sql(stmt)
+
+    # -- bank statements ----------------------------------------------------------
+
+    def _require_txn(self) -> int:
+        if self.txn is None:
+            raise StateError(
+                "session %d has no open transaction (BEGIN first)"
+                % self.session_id
+            )
+        return self.txn
+
+    def _do_begin(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        if self.txn is not None:
+            raise StateError(
+                "session %d already has transaction %d open"
+                % (self.session_id, self.txn)
+            )
+        self.txn = self.manager.bank.begin(self.session_id)
+        return StatementResult(kind="ok", meta={"txn": self.txn})
+
+    def _do_commit(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        tid = self._require_txn()
+        try:
+            info = self.manager.bank.commit(tid)
+        finally:
+            # Whether the group flushed or the commit was lost to a
+            # crash, the transaction is finished either way.
+            self.txn = None
+        return StatementResult(kind="ok", meta=info)
+
+    def _do_rollback(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        tid = self._require_txn()
+        try:
+            self.manager.bank.rollback(tid)
+        finally:
+            self.txn = None
+        return StatementResult(kind="ok", meta={"txn": tid})
+
+    def _bank_op(self, record: int, op) -> Tuple[Any, int, bool]:
+        """Run one record-touching operation under governor admission,
+        autocommitting when no transaction is open."""
+        mgr = self.manager
+        handle = mgr.db.governor.admit(1, timeout=mgr.statement_timeout)
+        try:
+            auto = self.txn is None
+            if auto:
+                self.txn = mgr.bank.begin(self.session_id)
+            tid = self.txn
+            try:
+                value = op(tid, record)
+            except (TransactionAborted, QueryTimeout):
+                # The store already rolled the transaction back.
+                self.txn = None
+                raise
+            if auto:
+                try:
+                    mgr.bank.commit(tid)
+                    self.autocommits += 1
+                finally:
+                    self.txn = None
+            return value, tid, auto
+        finally:
+            mgr.db.governor.release(handle)
+
+    def _do_get(self, tokens) -> StatementResult:
+        record = _int_arg(tokens, 1, "record id")
+        _exact_arity(tokens, 2)
+        value, tid, auto = self._bank_op(
+            record, lambda t, r: self.manager.bank.read_record(t, r)
+        )
+        return StatementResult(
+            kind="value",
+            value=value,
+            meta={"record": record, "txn": tid, "autocommit": auto},
+        )
+
+    def _do_add(self, tokens) -> StatementResult:
+        record = _int_arg(tokens, 1, "record id")
+        delta = _int_arg(tokens, 2, "delta")
+        _exact_arity(tokens, 3)
+        value, tid, auto = self._bank_op(
+            record, lambda t, r: self.manager.bank.add_record(t, r, delta)
+        )
+        return StatementResult(
+            kind="value",
+            value=value,
+            meta={"record": record, "txn": tid, "autocommit": auto},
+        )
+
+    def _do_set(self, tokens) -> StatementResult:
+        record = _int_arg(tokens, 1, "record id")
+        value = _int_arg(tokens, 2, "value")
+        _exact_arity(tokens, 3)
+        old, tid, auto = self._bank_op(
+            record, lambda t, r: self.manager.bank.set_record(t, r, value)
+        )
+        return StatementResult(
+            kind="value",
+            value=old,
+            meta={"record": record, "txn": tid, "autocommit": auto},
+        )
+
+    def _do_audit(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        return StatementResult(
+            kind="value", value=self.manager.bank.audit_total()
+        )
+
+    def _do_flush(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        flushed = self.manager.bank.flush_now()
+        return StatementResult(kind="ok", meta={"flushed": flushed})
+
+    def _do_ping(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        return StatementResult(kind="ok", meta={"session": self.session_id})
+
+    def _do_stats(self, tokens) -> StatementResult:
+        _exact_arity(tokens, 1)
+        value = dict(self.manager.manager_stats())
+        value["session"] = self.info()
+        return StatementResult(kind="value", value=value)
+
+    # -- SQL ----------------------------------------------------------------------
+
+    def _sql(self, stmt: str) -> StatementResult:
+        mgr = self.manager
+        with mgr._sql_mu:
+            before = mgr.db.counters.snapshot()
+            reuse_before = mgr.db.reuse_stats()
+            rel = mgr.db.sql(stmt, timeout=mgr.statement_timeout)
+            delta = mgr.db.counters.snapshot() - before
+            reuse_after = mgr.db.reuse_stats()
+            for key in _REUSE_KEYS:
+                self.reuse_view[key] += reuse_after[key] - reuse_before[key]
+            return StatementResult(
+                kind="rows",
+                columns=list(rel.schema.names),
+                rows=[list(row) for _, row in rel.scan()],
+                counters=delta.as_dict(),
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, reason: str = "disconnect") -> None:
+        """End the session; an open transaction is rolled back with
+        ``reason`` (the mid-transaction-disconnect guarantee)."""
+        if self.closed:
+            return
+        self.closed = True
+        tid, self.txn = self.txn, None
+        if tid is not None:
+            try:
+                self.manager.bank.rollback(tid, reason)
+            except SessionError:
+                # Already dead (aborted by deadlock or lost in a crash).
+                pass
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "session": self.session_id,
+            "txn": self.txn,
+            "statements": self.statements,
+            "autocommits": self.autocommits,
+            "reuse_view": dict(self.reuse_view),
+            "closed": self.closed,
+        }
+
+    _HANDLERS = {
+        "BEGIN": _do_begin,
+        "COMMIT": _do_commit,
+        "ROLLBACK": _do_rollback,
+        "ABORT": _do_rollback,
+        "GET": _do_get,
+        "ADD": _do_add,
+        "SET": _do_set,
+        "AUDIT": _do_audit,
+        "FLUSH": _do_flush,
+        "PING": _do_ping,
+        "STATS": _do_stats,
+    }
+
+    def __repr__(self) -> str:
+        return "Session(%d, txn=%s, %d statements)" % (
+            self.session_id,
+            self.txn,
+            self.statements,
+        )
+
+
+class SessionManager:
+    """The shared engine plus the registry of live sessions."""
+
+    def __init__(
+        self,
+        db: Optional[MainMemoryDatabase] = None,
+        bank: Optional[BankStore] = None,
+        n_accounts: int = 64,
+        initial_balance: int = 100,
+        statement_timeout: float = 5.0,
+        group_size: int = 8,
+        group_delay: float = 0.002,
+        lock_wait_timeout: float = 5.0,
+    ) -> None:
+        self.db = db if db is not None else MainMemoryDatabase()
+        self.bank = (
+            bank
+            if bank is not None
+            else BankStore(
+                n_accounts,
+                initial_balance=initial_balance,
+                group_size=group_size,
+                group_delay=group_delay,
+                lock_wait_timeout=lock_wait_timeout,
+            )
+        )
+        self.statement_timeout = statement_timeout
+        self._mu = tracked_lock("repro.server.SessionManager._mu")
+        #: Serialises relational (SQL) statements; see the module docstring.
+        self._sql_mu = tracked_lock("repro.server.SessionManager._sql_mu")
+        self._sids = itertools.count(1)
+        self._sessions: Dict[int, Session] = {}
+
+    # -- session registry ---------------------------------------------------------
+
+    def open_session(self) -> Session:
+        with self._mu:
+            sid = next(self._sids)
+            session = Session(self, sid)
+            self._sessions[sid] = session
+            return session
+
+    def session(self, session_id: int) -> Session:
+        with self._mu:
+            found = self._sessions.get(session_id)
+        if found is None:
+            raise SessionError("unknown session id %r" % (session_id,))
+        return found
+
+    def close_session(self, session_id: int, reason: str = "disconnect") -> bool:
+        """Close (and deregister) a session, rolling back its open
+        transaction.  Returns False when the id is unknown."""
+        with self._mu:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        session.close(reason)
+        return True
+
+    def execute(self, session_id: int, stmt: str) -> StatementResult:
+        """Convenience: run ``stmt`` on session ``session_id``."""
+        return self.session(session_id).execute(stmt)
+
+    def session_count(self) -> int:
+        with self._mu:
+            return len(self._sessions)
+
+    # -- faults -------------------------------------------------------------------
+
+    def crash(self) -> Dict[str, int]:
+        """Crash the bank store and sever every session (their open
+        transactions die with the volatile state)."""
+        report = self.bank.crash()
+        with self._mu:
+            victims = list(self._sessions.values())
+            self._sessions.clear()
+        for session in victims:
+            session.close("crash")
+        report["closed_sessions"] = len(victims)
+        return report
+
+    def recover(self) -> Dict[str, Any]:
+        return self.bank.recover()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def manager_stats(self) -> Dict[str, Any]:
+        with self._mu:
+            sessions = [s.info() for s in self._sessions.values()]
+        return {
+            "sessions": sessions,
+            "session_count": len(sessions),
+            "bank": self.bank.bank_stats(),
+            "governor": self.db.governor_stats(),
+            "reuse": self.db.reuse_stats(),
+        }
+
+    def close(self) -> None:
+        """Close every session and stop the bank's flusher."""
+        with self._mu:
+            victims = list(self._sessions.values())
+            self._sessions.clear()
+        for session in victims:
+            session.close("shutdown")
+        self.bank.close()
+
+    def __repr__(self) -> str:
+        return "SessionManager(%d sessions)" % self.session_count()
+
+
+__all__ = ["Session", "SessionManager", "StatementResult"]

@@ -1,0 +1,1 @@
+"""Multi-session server tests (tier 1)."""
