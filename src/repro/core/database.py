@@ -59,6 +59,7 @@ class MainMemoryDatabase:
         params: Optional[CostParameters] = None,
         page_bytes: int = 4096,
         batch: bool = True,
+        columnar: bool = True,
         join_workers: int = 1,
         reuse_cache: bool = True,
         governor: Optional[GovernorConfig] = None,
@@ -77,6 +78,9 @@ class MainMemoryDatabase:
         #: Page-at-a-time operator execution (docs/PERF.md); counted costs
         #: are identical to the tuple-at-a-time loops either way.
         self.batch = batch
+        #: Columnar batch kernels over the packed page buffers; ``False``
+        #: keeps the row-view batch loops (same rows, same counters).
+        self.columnar = columnar
         #: Worker processes for partitioned hash joins (1 = serial).
         self.join_workers = validate_workers(join_workers)
         #: Materialised-subplan reuse cache (None when disabled).  DML on
@@ -178,10 +182,14 @@ class MainMemoryDatabase:
         for tid, row in relation.scan():
             index.insert(row[col], tid)
         self.catalog.register_index(table, column, index)
+        # A new access path changes how future plans address this table;
+        # cached subplans from the old plan shape must not be served.
+        self._invalidate_reuse(table)
         return index
 
     def drop_index(self, table: str, column: str) -> None:
         self.catalog.drop_index(table, column)
+        self._invalidate_reuse(table)
 
     # -- DML ------------------------------------------------------------------------
 
@@ -230,6 +238,38 @@ class MainMemoryDatabase:
             self.create_index(table, idx_col)
         self._invalidate_reuse(table)
         return len(victims)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Packed-page and index statistics for every table.
+
+        Returns ``{table: {"storage": ..., "indexes": {column: ...}}}``
+        where ``storage`` is :meth:`repro.storage.relation.Relation.storage_stats`
+        (packed-column counts, buffer bytes, bytes per row) and each index
+        entry reports its kind, entry count, height (ordered trees), and
+        whether it can serve range scans.
+        """
+        report: Dict[str, Any] = {}
+        for name in self.catalog.relations():
+            indexes: Dict[str, Any] = {}
+            for column, index in sorted(self.catalog.indexes_on(name).items()):
+                info: Dict[str, Any] = {
+                    "kind": type(index).__name__,
+                    "entries": len(index),
+                    "supports_range_scan": bool(
+                        getattr(index, "supports_range_scan", False)
+                    ),
+                }
+                height = getattr(index, "height", None)
+                if height is not None:
+                    info["height"] = height
+                indexes[column] = info
+            report[name] = {
+                "storage": self.catalog.relation(name).storage_stats(),
+                "indexes": indexes,
+            }
+        return report
 
     # -- queries -----------------------------------------------------------------------
 
@@ -285,6 +325,7 @@ class MainMemoryDatabase:
                 params=self.params,
                 counters=self.counters,
                 batch=self.batch,
+                columnar=self.columnar,
                 join_workers=self.join_workers,
                 reuse_cache=self.reuse,
                 guard=handle.guard,

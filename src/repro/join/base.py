@@ -78,6 +78,16 @@ class JoinSpec:
     def s_key(self) -> Callable[[Row], Any]:
         return self.s.key_of(self.s_field)
 
+    @property
+    def r_key_index(self) -> int:
+        """Column position of the R join key (for packed-column scans)."""
+        return self.r.schema.index_of(self.r_field)
+
+    @property
+    def s_key_index(self) -> int:
+        """Column position of the S join key (for packed-column scans)."""
+        return self.s.schema.index_of(self.s_field)
+
     def table_pages(self, tuples: int, tuples_per_page: int) -> float:
         """Pages a hash/sort structure of ``tuples`` tuples occupies."""
         return tuples / tuples_per_page * self.params.fudge

@@ -96,14 +96,16 @@ class GraceHashJoin(JoinAlgorithm):
         try:
             classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
             classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
+            r_ki, s_ki = spec.r_key_index, spec.s_key_index
             if pool is not None:
-                r_key, s_key = spec.r_key, spec.s_key
+                # Keys for the workers come straight off the packed
+                # join-key columns -- no per-row extractor calls.
                 classify_r = precomputed_classifier(
                     pool,
                     [
-                        [r_key(row) for row in page.tuples]
+                        list(page.column(r_ki))
                         for page in spec.r.pages
-                        if page.tuples
+                        if len(page)
                     ],
                     residue_chunk_task,
                     (buckets,),
@@ -111,9 +113,9 @@ class GraceHashJoin(JoinAlgorithm):
                 classify_s = precomputed_classifier(
                     pool,
                     [
-                        [s_key(row) for row in page.tuples]
+                        list(page.column(s_ki))
                         for page in spec.s.pages
-                        if page.tuples
+                        if len(page)
                     ],
                     residue_chunk_task,
                     (buckets,),
@@ -127,6 +129,7 @@ class GraceHashJoin(JoinAlgorithm):
                 file_prefix=self.scratch_name(spec, "r"),
                 classify=classify_r,
                 checkpoint=self.checkpoint,
+                key_index=r_ki,
             )
             s_files = partition_relation(
                 spec.s,
@@ -137,6 +140,7 @@ class GraceHashJoin(JoinAlgorithm):
                 file_prefix=self.scratch_name(spec, "s"),
                 classify=classify_s,
                 checkpoint=self.checkpoint,
+                key_index=s_ki,
             )
 
             r_index = spec.r.schema.index_of(spec.r_field)

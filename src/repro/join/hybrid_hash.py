@@ -284,6 +284,7 @@ class HybridHashJoin(JoinAlgorithm):
             spec.r.page_count, memory, params.fudge
         )
         r_key, s_key = spec.r_key, spec.s_key
+        r_ki, s_ki = spec.r_key_index, spec.s_key_index
 
         resident = HashIndex(self.counters, max_load=params.fudge)
         demoted = False
@@ -293,12 +294,13 @@ class HybridHashJoin(JoinAlgorithm):
         classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
         classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
         if pool is not None and buckets > 0:
+            # Worker keys come straight off the packed join-key columns.
             classify_r = precomputed_classifier(
                 pool,
                 [
-                    [r_key(row) for row in page.tuples]
+                    list(page.column(r_ki))
                     for page in spec.r.pages
-                    if page.tuples
+                    if len(page)
                 ],
                 hybrid_class_chunk_task,
                 (q, buckets, depth),
@@ -306,9 +308,9 @@ class HybridHashJoin(JoinAlgorithm):
             classify_s = precomputed_classifier(
                 pool,
                 [
-                    [s_key(row) for row in page.tuples]
+                    list(page.column(s_ki))
                     for page in spec.s.pages
-                    if page.tuples
+                    if len(page)
                 ],
                 hybrid_class_chunk_task,
                 (q, buckets, depth),
@@ -333,7 +335,7 @@ class HybridHashJoin(JoinAlgorithm):
             rows = page.tuples
             if not rows:
                 continue
-            keys = [r_key(row) for row in rows]
+            keys = page.column(r_ki)
             classes = (
                 classify_r(keys)
                 if classify_r is not None
@@ -378,7 +380,7 @@ class HybridHashJoin(JoinAlgorithm):
             rows = page.tuples
             if not rows:
                 continue
-            keys = [s_key(row) for row in rows]
+            keys = page.column(s_ki)
             classes = (
                 classify_s(keys)
                 if classify_s is not None

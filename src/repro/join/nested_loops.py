@@ -60,7 +60,8 @@ class NestedLoopsJoin(JoinAlgorithm):
 
     def _execute_batch(self, spec: JoinSpec, output: Relation) -> None:
         """Page-at-a-time variant: hoisted block keys, bulk charges."""
-        r_key, s_key = spec.r_key, spec.s_key
+        r_key = spec.r_key
+        s_ki = spec.s_key_index
         block_tuples = spec.memory_tuples(spec.r.tuples_per_page)
         s_pages = spec.s.pages
 
@@ -74,8 +75,8 @@ class NestedLoopsJoin(JoinAlgorithm):
                 rows = page.tuples
                 self.counters.compare(per_s * len(rows))
                 matched: List[Row] = []
-                for s_row in rows:
-                    sk = s_key(s_row)
+                # S keys read off the packed join-key column buffer.
+                for sk, s_row in zip(page.column(s_ki), rows):
                     for rk, r_row in keyed:
                         if rk == sk:
                             matched.append(r_row + s_row)

@@ -153,6 +153,7 @@ def partition_relation(
     batch: bool = True,
     classify: Optional[Callable[[Sequence[Any]], List[int]]] = None,
     checkpoint: Optional[Callable[[], None]] = None,
+    key_index: Optional[int] = None,
 ) -> List[str]:
     """Partition ``relation`` into ``buckets`` spill files by hash.
 
@@ -175,6 +176,11 @@ def partition_relation(
     ``checkpoint`` (the governor's cooperative cancellation hook) is
     called once per input page in both execution modes, so a cancelled or
     timed-out query stops partitioning within one page of work.
+
+    ``key_index`` (batch path only) names the join-key column position:
+    keys are then read straight off each page's packed column buffer
+    instead of calling ``key`` once per row.  Key extraction is uncharged
+    in both forms, so the counters cannot differ.
     """
     if buckets < 0:
         raise ConfigurationError("bucket count cannot be negative")
@@ -195,7 +201,11 @@ def partition_relation(
             if not rows:
                 continue
             counters.hash_key(len(rows))
-            keys = [key(row) for row in rows]
+            keys = (
+                page.column(key_index)
+                if key_index is not None
+                else [key(row) for row in rows]
+            )
             residues = (
                 classify(keys)
                 if classify is not None

@@ -261,10 +261,14 @@ class SortMergeJoin(JoinAlgorithm):
         def sorted_rows(
             relation: Relation, field: str, source: int
         ) -> List[Tuple[Any, int, Row]]:
-            key = relation.key_of(field)
+            ki = relation.schema.index_of(field)
             items: List[Tuple[Any, int, Row]] = []
             for page in relation.pages:
-                items.extend((key(row), source, row) for row in page.tuples)
+                # Keys come straight off the packed join-key column; zip
+                # against the cached row view yields the same triples.
+                items.extend(
+                    zip(page.column(ki), itertools.repeat(source), page.tuples)
+                )
             charges = heap_push_charges(len(items))
             self.counters.compare(charges)
             self.counters.swap_tuples(charges)

@@ -155,6 +155,12 @@ class LintConfig:
     charge_helpers: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: {
             "charge_heap_op": ("compare", "swap_tuples"),
+            # Columnar kernel helpers (operators/columnar.py), called by
+            # bare name from the packed-buffer batch arms.
+            "charge_page_compares": ("compare",),
+            "charge_page_moves": ("move_tuple",),
+            "charge_page_hashes": ("hash_key",),
+            "charge_page_group": ("hash_key", "compare"),
         }
     )
     #: Classes whose I/O-performing methods must carry a chaos seam,

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.cost.counters import OperationCounters, heap_push_charges
 from repro.join.partition import SpillWriter, partition_hash, read_bucket
+from repro.operators.columnar import charge_page_group, page_keys
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import DataType, Field, Schema, tuple_projector
@@ -132,6 +133,129 @@ def _emit_groups(
     )
 
 
+#: Distinguishes "no extreme yet" from any legal column value.
+_MISSING = object()
+
+
+def _hash_aggregate_columnar(
+    relation: Relation,
+    group_indexes: List[int],
+    agg_indexes: List[Optional[int]],
+    aggregates: Sequence[AggregateSpec],
+    counters: OperationCounters,
+    token: Optional[Any],
+) -> List[Row]:
+    """One-pass aggregation over packed column buffers; returns result rows.
+
+    Only valid when the group table cannot overflow (no memory grant, so
+    no spilling): group keys are scanned straight off the grouping
+    column (scalar dict keys for a single column -- no per-row tuple),
+    and each aggregate folds its value column in a dedicated tight loop
+    over plain dicts instead of per-row ``_Accumulator`` method calls.
+
+    Observational identity with the row paths is preserved carefully:
+    group emit order is first-seen order, SUM/AVG totals start at ``0.0``
+    and add in row order (same float rounding), and MIN/MAX keep the
+    first extreme seen among equals.
+    """
+    single = len(group_indexes) == 1
+    #: First-seen group order (dict used as an ordered set).
+    order: Dict[Any, None] = {}
+    states: List[Any] = []
+    for spec in aggregates:
+        if spec.function is AggregateFunction.AVG:
+            states.append(({}, {}))  # totals, counts
+        else:
+            states.append({})
+
+    for page in relation.pages:
+        if token is not None:
+            token.check()
+        n = len(page)
+        charge_page_group(counters, n)
+        if not n:
+            continue
+        keys: Optional[Sequence[Any]]
+        if not group_indexes:
+            keys = None
+            if () not in order:
+                order[()] = None
+        elif single:
+            keys = page.column(group_indexes[0])
+            for k in keys:
+                if k not in order:
+                    order[k] = None
+        else:
+            keys = page_keys(page, group_indexes)
+            for k in keys:
+                if k not in order:
+                    order[k] = None
+        for spec, idx, state in zip(aggregates, agg_indexes, states):
+            func = spec.function
+            col = page.column(idx) if idx is not None else None
+            if keys is None:
+                # Ungrouped: fold the whole column in one C-level call.
+                if func is AggregateFunction.COUNT:
+                    state[()] = state.get((), 0) + n
+                elif func is AggregateFunction.SUM:
+                    state[()] = sum(col, state.get((), 0.0))
+                elif func is AggregateFunction.AVG:
+                    totals, cnts = state
+                    totals[()] = sum(col, totals.get((), 0.0))
+                    cnts[()] = cnts.get((), 0) + n
+                elif func is AggregateFunction.MIN:
+                    m = min(col)
+                    cur = state.get((), _MISSING)
+                    if cur is _MISSING or m < cur:
+                        state[()] = m
+                else:
+                    m = max(col)
+                    cur = state.get((), _MISSING)
+                    if cur is _MISSING or m > cur:
+                        state[()] = m
+            elif func is AggregateFunction.COUNT:
+                get = state.get
+                for k in keys:
+                    state[k] = get(k, 0) + 1
+            elif func is AggregateFunction.SUM:
+                get = state.get
+                for k, v in zip(keys, col):
+                    state[k] = get(k, 0.0) + v
+            elif func is AggregateFunction.AVG:
+                totals, cnts = state
+                tget = totals.get
+                cget = cnts.get
+                for k, v in zip(keys, col):
+                    totals[k] = tget(k, 0.0) + v
+                    cnts[k] = cget(k, 0) + 1
+            elif func is AggregateFunction.MIN:
+                get = state.get
+                for k, v in zip(keys, col):
+                    cur = get(k, _MISSING)
+                    if cur is _MISSING or v < cur:
+                        state[k] = v
+            else:
+                get = state.get
+                for k, v in zip(keys, col):
+                    cur = get(k, _MISSING)
+                    if cur is _MISSING or v > cur:
+                        state[k] = v
+
+    rows: List[Row] = []
+    for k in order:
+        key = (k,) if single else k
+        values: List[Any] = []
+        for spec, state in zip(aggregates, states):
+            if spec.function is AggregateFunction.AVG:
+                totals, cnts = state
+                c = cnts[k]
+                values.append(totals[k] / c if c else 0.0)
+            else:
+                values.append(state[k])
+        rows.append(key + tuple(values))
+    return rows
+
+
 
 
 def hash_aggregate(
@@ -145,6 +269,7 @@ def hash_aggregate(
     output_name: Optional[str] = None,
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
     _depth: int = 0,
 ) -> Relation:
     """One-pass hash aggregation with hybrid-hash overflow.
@@ -159,7 +284,11 @@ def hash_aggregate(
 
     The default ``batch`` path walks pages with a hoisted key extractor
     and charges the hash/compare counters in page-sized bulk; spill order,
-    results, and counter totals are identical to ``batch=False``.
+    results, and counter totals are identical to ``batch=False``.  When no
+    memory grant caps the group table (``memory_pages is None``, so no
+    tuple can ever spill) the default ``columnar`` path drops to
+    :func:`_hash_aggregate_columnar`, folding packed column buffers with
+    per-aggregate tight loops -- again bit-identical rows and counters.
 
     ``token`` is a :class:`repro.governor.CancellationToken` checked once
     per page of input (and through every overflow recursion level).
@@ -199,6 +328,14 @@ def hash_aggregate(
         return writer
 
     if batch:
+        if columnar and capacity is None:
+            out.extend_rows(
+                _hash_aggregate_columnar(
+                    relation, group_indexes, agg_indexes, aggregates,
+                    counters, token,
+                )
+            )
+            return out
         keyfn = tuple_projector(group_indexes)
         get = groups.get
         for page in relation.pages:
@@ -261,11 +398,97 @@ def hash_aggregate(
                 disk=disk,
                 batch=batch,
                 token=token,
+                columnar=columnar,
                 _depth=_depth + 1,
             )
             for page in partial.pages:
                 out.extend_rows(page.tuples)
     return out
+
+
+def _sort_aggregate_columnar(
+    relation: Relation,
+    group_indexes: Sequence[int],
+    agg_indexes: Sequence[Optional[int]],
+    aggregates: Sequence[AggregateSpec],
+    counters: OperationCounters,
+    token: Optional[Any],
+) -> List[Row]:
+    """Sort-aggregate over packed columns: argsort keys, fold segments.
+
+    Observationally identical to the pair-sort-then-accumulate batch arm:
+
+    * Keys sort stably by position, exactly like the stable pair sort.
+      Single-column groups sort the bare scalars -- ``(a,) < (b,)`` is
+      ``a < b``, so the order cannot differ from 1-tuples.
+    * Group boundaries use ``is``-then-``==``, the same identity shortcut
+      tuple equality applies element-wise in the pair path.
+    * Fold order within a group is ascending position (stable sort), the
+      same float-addition sequence the accumulators see; SUM/AVG start at
+      0.0 and MIN/MAX keep the first extreme, mirroring
+      :class:`_Accumulator` exactly (including its None bootstrap).
+    * Charges are the arithmetic heap totals plus one neighbour check per
+      tuple -- identical numbers to the pair path.
+    """
+    single = len(group_indexes) == 1
+    keys: List[Any] = []
+    acols: List[Optional[List[Any]]] = [
+        None if idx is None else [] for idx in agg_indexes
+    ]
+    for page in relation.pages:
+        if token is not None:
+            token.check()
+        if not len(page):
+            continue
+        if single:
+            keys.extend(page.column(group_indexes[0]))
+        else:
+            keys.extend(page_keys(page, group_indexes))
+        for vals, idx in zip(acols, agg_indexes):
+            if vals is not None:
+                vals.extend(page.column(idx))
+
+    charges = heap_push_charges(len(keys))
+    counters.compare(charges)
+    counters.swap_tuples(charges)
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+    counters.compare(len(keys))  # one neighbour check per pop
+
+    emitted: List[Row] = []
+    n = len(keys)
+    i = 0
+    while i < n:
+        k = keys[order[i]]
+        j = i + 1
+        while j < n:
+            kj = keys[order[j]]
+            if kj is k or kj == k:
+                j += 1
+            else:
+                break
+        seg = order[i:j]
+        out_vals: List[Any] = []
+        for spec, vals in zip(aggregates, acols):
+            f = spec.function
+            if f is AggregateFunction.COUNT:
+                out_vals.append(j - i)
+            elif f is AggregateFunction.SUM or f is AggregateFunction.AVG:
+                total = 0.0
+                for p in seg:
+                    total += vals[p]
+                out_vals.append(total if f is AggregateFunction.SUM
+                                else total / (j - i))
+            else:
+                want_min = f is AggregateFunction.MIN
+                cur: Any = None
+                for p in seg:
+                    v = vals[p]
+                    if cur is None or (v < cur if want_min else v > cur):
+                        cur = v
+                out_vals.append(cur)
+        emitted.append(((k,) if single else k) + tuple(out_vals))
+        i = j
+    return emitted
 
 
 def sort_aggregate(
@@ -276,6 +499,7 @@ def sort_aggregate(
     output_name: Optional[str] = None,
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
 ) -> Relation:
     """Sort-based baseline: heap-sort on the grouping key, fold neighbours.
 
@@ -301,6 +525,14 @@ def sort_aggregate(
     ]
 
     if batch:
+        if columnar and group_indexes:
+            out.extend_rows(
+                _sort_aggregate_columnar(
+                    relation, group_indexes, agg_indexes, aggregates,
+                    counters, token,
+                )
+            )
+            return out
         keyfn = tuple_projector(group_indexes)
         pairs: List[Tuple[Tuple[Any, ...], Row]] = []
         for page in relation.pages:

@@ -13,6 +13,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.cost.counters import OperationCounters
 from repro.operators.aggregate import hash_aggregate, sort_aggregate
+from repro.operators.columnar import charge_page_moves
 from repro.storage.disk import SimulatedDisk
 from repro.storage.relation import Relation
 from repro.storage.tuples import tuple_projector
@@ -25,6 +26,7 @@ def _plain_project(
     output_name: Optional[str],
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
 ) -> Relation:
     out = Relation(
         output_name or ("project(%s)" % relation.name),
@@ -33,6 +35,17 @@ def _plain_project(
     )
     indexes = [relation.schema.index_of(c) for c in columns]
     if batch:
+        if columnar:
+            # Kept columns flow buffer-to-buffer; dropped ones are never
+            # touched -- no row tuple exists anywhere on this path.
+            for page in relation.pages:
+                if token is not None:
+                    token.check()
+                n = len(page)
+                charge_page_moves(counters, n)
+                if n:
+                    out.extend_columns([page.column(i) for i in indexes], n)
+            return out
         getter = tuple_projector(indexes)
         for page in relation.pages:
             if token is not None:
@@ -61,12 +74,14 @@ def hash_project(
     output_name: Optional[str] = None,
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
 ) -> Relation:
     """Project onto ``columns``; hash-deduplicate when ``distinct``."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
         return _plain_project(
-            relation, columns, counters, output_name, batch, token=token
+            relation, columns, counters, output_name, batch, token=token,
+            columnar=columnar,
         )
     return hash_aggregate(
         relation,
@@ -79,6 +94,7 @@ def hash_project(
         output_name=output_name or ("project(%s)" % relation.name),
         batch=batch,
         token=token,
+        columnar=columnar,
     )
 
 
@@ -90,12 +106,14 @@ def sort_project(
     output_name: Optional[str] = None,
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
 ) -> Relation:
     """Sort-based projection baseline (duplicates collapse after sorting)."""
     counters = counters if counters is not None else OperationCounters()
     if not distinct:
         return _plain_project(
-            relation, columns, counters, output_name, batch, token=token
+            relation, columns, counters, output_name, batch, token=token,
+            columnar=columnar,
         )
     return sort_aggregate(
         relation,
@@ -105,6 +123,7 @@ def sort_project(
         output_name=output_name or ("project(%s)" % relation.name),
         batch=batch,
         token=token,
+        columnar=columnar,
     )
 
 

@@ -19,6 +19,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cost.counters import OperationCounters
+from repro.operators.columnar import (
+    charge_page_group,
+    charge_page_hashes,
+    charge_page_moves,
+    page_keys,
+)
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import Schema, tuple_projector
 from repro.errors import PlannerError
@@ -41,6 +47,7 @@ def cross_product(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    columnar: bool = True,
 ) -> Relation:
     """``R x S`` -- every pairing, charged one move per output tuple."""
     counters = counters if counters is not None else OperationCounters()
@@ -55,6 +62,20 @@ def cross_product(
     )
     if batch:
         s_pages = s.pages
+        if columnar:
+            # Per (r-row, s-page): the r-values broadcast into constant
+            # columns and the s-columns copy buffer-to-buffer.
+            for r_page in r.pages:
+                for r_row in r_page.tuples:
+                    for s_page in s_pages:
+                        n = len(s_page)
+                        charge_page_moves(counters, n)
+                        if n:
+                            out.extend_columns(
+                                [[v] * n for v in r_row] + list(s_page.columns),
+                                n,
+                            )
+            return out
         for r_page in r.pages:
             for r_row in r_page.tuples:
                 for s_page in s_pages:
@@ -78,6 +99,7 @@ def divide(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     batch: bool = True,
+    columnar: bool = True,
 ) -> Relation:
     """Relational division: group values related to every divisor tuple.
 
@@ -110,6 +132,10 @@ def divide(
     required: Set[Tuple[Any, ...]] = set()
     if batch:
         for page in divisor.pages:
+            if columnar:
+                charge_page_hashes(counters, len(page))
+                required.update(page_keys(page, div_idx))
+                continue
             rows = page.tuples
             counters.hash_key(len(rows))
             required.update(map(div_key, rows))
@@ -128,11 +154,15 @@ def divide(
         seen_groups: Set[Tuple[Any, ...]] = set()
         if batch:
             for page in r.pages:
-                rows = page.tuples
-                counters.hash_key(len(rows))
+                if columnar:
+                    charge_page_hashes(counters, len(page))
+                    keys = page_keys(page, group_idx)
+                else:
+                    rows = page.tuples
+                    counters.hash_key(len(rows))
+                    keys = [group_key(row) for row in rows]
                 fresh: List[Tuple[Any, ...]] = []
-                for row in rows:
-                    key = group_key(row)
+                for key in keys:
                     if key not in seen_groups:
                         seen_groups.add(key)
                         fresh.append(key)
@@ -150,6 +180,15 @@ def divide(
     covered: Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]] = {}
     if batch:
         for page in r.pages:
+            if columnar:
+                charge_page_group(counters, len(page))
+                for member, key in zip(
+                    page_keys(page, attr_idx), page_keys(page, group_idx)
+                ):
+                    if member not in required:
+                        continue
+                    covered.setdefault(key, set()).add(member)
+                continue
             rows = page.tuples
             counters.hash_key(len(rows))
             counters.compare(len(rows))

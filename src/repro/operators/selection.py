@@ -15,6 +15,9 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
+from repro.operators.columnar import append_selected, charge_page_compares
+from repro.storage import codecs
+from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
 from repro.storage.tuples import Schema
 from repro.errors import PlannerError
@@ -27,6 +30,29 @@ _OPS: dict = {
     ">": operator.gt,
     ">=": operator.ge,
 }
+
+#: Exactly-representable float64 integer bound (2**53).
+_FLOAT_EXACT = 1 << 53
+
+
+def _vector_exact(typecode: str, value: Any) -> bool:
+    """Whether comparing a packed buffer against ``value`` in numpy is
+    *exactly* Python's comparison semantics.
+
+    Python compares int to float with full precision; numpy casts both
+    sides to a common dtype first.  The cast is lossless only for an int
+    constant within int64 range against an int64 buffer, or a constant
+    whose float64 image is exact against a float64 buffer.  Everything
+    else (huge ints, int buffers vs float constants) falls back to the
+    per-element Python mask.
+    """
+    if type(value) is int:
+        if typecode == codecs.INT_KIND:
+            return -(1 << 63) <= value < (1 << 63)
+        return -_FLOAT_EXACT <= value <= _FLOAT_EXACT
+    if type(value) is float:
+        return typecode == codecs.FLOAT_KIND
+    return False
 
 
 class Predicate(abc.ABC):
@@ -49,6 +75,16 @@ class Predicate(abc.ABC):
         identical to :meth:`evaluate` by construction.
         """
         return lambda row: self.evaluate(schema, row)
+
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        """A page -> boolean-mask closure over the packed column buffers.
+
+        The columnar batch executor evaluates predicates through this:
+        one listcomp per page over a contiguous column instead of a
+        closure call per row.  ``None`` means the predicate cannot be
+        vectorised and the executor falls back to :meth:`compile`.
+        """
+        return None
 
     def columns(self) -> List[str]:
         """Column names the predicate references."""
@@ -88,6 +124,23 @@ class Comparison(Predicate):
         op = _OPS[self.op]
         value = self.value
         return lambda row: op(row[idx], value)
+
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        idx = schema.index_of(self.column)
+        value = self.value
+        op = _OPS[self.op]
+
+        def masker(page: Page):
+            col = page.column(idx)
+            # Vectorised path: one C-level comparison over a zero-copy
+            # view of the packed buffer, gated on exact semantics.
+            if type(col) is codecs.array and _vector_exact(col.typecode, value):
+                view = codecs.packed_view(col)
+                if view is not None:
+                    return op(view, value)
+            return [op(v, value) for v in col]
+
+        return masker
 
     def comparisons(self) -> int:
         return 1
@@ -130,6 +183,13 @@ class Prefix(Predicate):
         prefix = self.prefix
         return lambda row: isinstance(row[idx], str) and row[idx].startswith(prefix)
 
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        idx = schema.index_of(self.column)
+        prefix = self.prefix
+        return lambda page: [
+            isinstance(v, str) and v.startswith(prefix) for v in page.column(idx)
+        ]
+
     def comparisons(self) -> int:
         return 1
 
@@ -158,6 +218,21 @@ class And(Predicate):
         right = self.right.compile(schema)
         return lambda row: left(row) and right(row)
 
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        left = self.left.compile_mask(schema)
+        right = self.right.compile_mask(schema)
+        if left is None or right is None:
+            return None
+
+        def masker(page: Page):
+            a, b = left(page), right(page)
+            if codecs.np is not None and isinstance(a, codecs.np.ndarray) \
+                    and isinstance(b, codecs.np.ndarray):
+                return a & b
+            return [x and y for x, y in zip(a, b)]
+
+        return masker
+
     def comparisons(self) -> int:
         return self.left.comparisons() + self.right.comparisons()
 
@@ -181,6 +256,21 @@ class Or(Predicate):
         right = self.right.compile(schema)
         return lambda row: left(row) or right(row)
 
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        left = self.left.compile_mask(schema)
+        right = self.right.compile_mask(schema)
+        if left is None or right is None:
+            return None
+
+        def masker(page: Page):
+            a, b = left(page), right(page)
+            if codecs.np is not None and isinstance(a, codecs.np.ndarray) \
+                    and isinstance(b, codecs.np.ndarray):
+                return a | b
+            return [x or y for x, y in zip(a, b)]
+
+        return masker
+
     def comparisons(self) -> int:
         return self.left.comparisons() + self.right.comparisons()
 
@@ -202,6 +292,19 @@ class Not(Predicate):
         inner = self.inner.compile(schema)
         return lambda row: not inner(row)
 
+    def compile_mask(self, schema: Schema) -> Optional[Callable[[Page], List[bool]]]:
+        inner = self.inner.compile_mask(schema)
+        if inner is None:
+            return None
+
+        def masker(page: Page):
+            m = inner(page)
+            if codecs.np is not None and isinstance(m, codecs.np.ndarray):
+                return ~m
+            return [not v for v in m]
+
+        return masker
+
     def comparisons(self) -> int:
         return self.inner.comparisons()
 
@@ -219,13 +322,16 @@ def select(
     output_name: Optional[str] = None,
     batch: bool = True,
     token: Optional[Any] = None,
+    columnar: bool = True,
 ) -> Relation:
     """Full-scan selection, charging the predicate's comparisons per tuple.
 
-    The default batch path evaluates a precompiled predicate page-at-a-time
-    and charges the counters in bulk; ``batch=False`` keeps the historical
-    tuple-at-a-time loop.  Both produce identical outputs and identical
-    counter totals (asserted by tests/test_batch_equivalence.py).
+    The default batch path evaluates the predicate's columnar mask over
+    each page's packed buffers and copies survivors column-to-column;
+    ``columnar=False`` keeps the PR-2 page-at-a-time row loop, and
+    ``batch=False`` the historical tuple-at-a-time loop.  All three
+    produce identical outputs and identical counter totals (asserted by
+    tests/test_batch_equivalence.py).
 
     ``token`` is a :class:`repro.governor.CancellationToken` checked once
     per page, so a cancelled or timed-out query stops scanning within one
@@ -239,6 +345,15 @@ def select(
     )
     per_tuple = predicate.comparisons()
     if batch:
+        masker = predicate.compile_mask(relation.schema) if columnar else None
+        if masker is not None:
+            for page in relation.pages:
+                if token is not None:
+                    token.check()
+                charge_page_compares(counters, per_tuple * len(page))
+                if len(page):
+                    append_selected(out, page, masker(page))
+            return out
         test = predicate.compile(relation.schema)
         for page in relation.pages:
             if token is not None:

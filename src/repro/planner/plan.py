@@ -52,6 +52,10 @@ class PlanContext:
     #: selects the historical tuple-at-a-time loops.  Results and counted
     #: costs are identical either way.
     batch: bool = True
+    #: Columnar batch kernels over the packed page buffers; ``False``
+    #: keeps the PR-2 row-view batch loops.  Results and counted costs
+    #: are identical either way (tests/test_batch_equivalence.py).
+    columnar: bool = True
     #: Worker processes for the partitioned hash joins (1 = serial).
     join_workers: int = 1
     #: Materialised-subplan cache; ``None`` disables reuse.
@@ -171,7 +175,12 @@ class ScanNode(PlanNode):
         return "Scan(%s)" % self.table
 
     def fingerprint(self, ctx: PlanContext) -> Tuple[Any, ...]:
-        return ("scan", self.table, ctx.catalog.relation(self.table).version)
+        return (
+            "scan",
+            self.table,
+            ctx.catalog.relation(self.table).version,
+            ctx.catalog.access_epoch(self.table),
+        )
 
     def tables(self) -> List[str]:
         return [self.table]
@@ -219,6 +228,7 @@ class IndexScanNode(PlanNode):
             "idxscan",
             self.table,
             ctx.catalog.relation(self.table).version,
+            ctx.catalog.access_epoch(self.table),
             self.predicate.fingerprint(),
         )
 
@@ -279,6 +289,7 @@ class FilterNode(PlanNode):
             ctx.counters,
             batch=ctx.batch,
             token=ctx.token,
+            columnar=ctx.columnar,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -414,6 +425,7 @@ class ProjectNode(PlanNode):
                 ctx.counters,
                 batch=ctx.batch,
                 token=ctx.token,
+                columnar=ctx.columnar,
             )
         return hash_project(
             child,
@@ -425,6 +437,7 @@ class ProjectNode(PlanNode):
             disk=ctx.disk,
             batch=ctx.batch,
             token=ctx.token,
+            columnar=ctx.columnar,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -490,6 +503,7 @@ class AggregateNode(PlanNode):
                 child, self.group_by, self.aggregates, ctx.counters,
                 batch=ctx.batch,
                 token=ctx.token,
+                columnar=ctx.columnar,
             )
         return hash_aggregate(
             child,
@@ -501,6 +515,7 @@ class AggregateNode(PlanNode):
             disk=ctx.disk,
             batch=ctx.batch,
             token=ctx.token,
+            columnar=ctx.columnar,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:

@@ -71,6 +71,11 @@ class Catalog:
         self._relations: Dict[str, Relation] = {}
         self._indexes: Dict[Tuple[str, str], Any] = {}
         self._stats: Dict[str, RelationStats] = {}
+        #: Per-relation access-path epoch, bumped whenever an index is
+        #: created or dropped.  Plan fingerprints embed it so cached
+        #: subplans become unaddressable when the set of available access
+        #: paths changes, not just when the data does.
+        self._access_epochs: Dict[str, int] = {}
 
     # -- relations ---------------------------------------------------------------
 
@@ -96,6 +101,7 @@ class Catalog:
             raise KeyError("no relation named %r" % name)
         del self._relations[name]
         self._stats.pop(name, None)
+        self._access_epochs.pop(name, None)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
 
@@ -111,6 +117,7 @@ class Catalog:
         if key in self._indexes:
             raise ConfigurationError("index on %s.%s already exists" % key)
         self._indexes[key] = index
+        self._bump_access_epoch(relation_name)
 
     def index(self, relation_name: str, column: str) -> Optional[Any]:
         return self._indexes.get((relation_name, column))
@@ -127,6 +134,20 @@ class Catalog:
         if key not in self._indexes:
             raise KeyError("no index on %s.%s" % key)
         del self._indexes[key]
+        self._bump_access_epoch(relation_name)
+
+    def _bump_access_epoch(self, relation_name: str) -> None:
+        self._access_epochs[relation_name] = (
+            self._access_epochs.get(relation_name, 0) + 1
+        )
+
+    def access_epoch(self, relation_name: str) -> int:
+        """Monotonic counter of index create/drop events on a relation.
+
+        Embedded in scan fingerprints so the plan-reuse cache cannot serve
+        a subplan materialised under a different set of access paths.
+        """
+        return self._access_epochs.get(relation_name, 0)
 
     # -- statistics ---------------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.storage.codecs import Column, column_bytes, column_kinds, is_packed
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.tuples import Schema
@@ -36,6 +37,8 @@ class Relation:
         self.schema = schema
         self.page_bytes = page_bytes
         self._tuples_per_page = schema.tuples_per_page(page_bytes)
+        #: Schema-driven column kinds every page of this relation packs to.
+        self._kinds = column_kinds(schema)
         self._pages: List[Page] = []
         #: Incrementally maintained tuple count (``||R||``).
         self._count = 0
@@ -84,7 +87,9 @@ class Relation:
     def insert_unchecked(self, row: Row) -> Tuple[int, int]:
         """Append a pre-validated tuple (hot path for generators/joins)."""
         if not self._pages or self._pages[-1].is_full:
-            self._pages.append(Page(len(self._pages), self._tuples_per_page))
+            self._pages.append(
+                Page(len(self._pages), self._tuples_per_page, self._kinds)
+            )
         slot = self._pages[-1].add(row)
         self._count += 1
         self._version += 1
@@ -116,12 +121,39 @@ class Relation:
         pos = 0
         while pos < n:
             if not pages or pages[-1].is_full:
-                pages.append(Page(len(pages), cap))
+                pages.append(Page(len(pages), cap, self._kinds))
             # Slice at most one page worth per round: O(n) total copying.
             pos += pages[-1].extend_rows(rows[pos:pos + cap])
         self._count += n
         self._version += 1
         return n
+
+    def extend_columns(self, columns: Sequence[Column], count: int) -> int:
+        """Append ``count`` pre-validated rows given column-wise; return count.
+
+        The batch operators' columnar output path: column slices flow from
+        input pages straight into output pages without materialising a
+        single row tuple (see :meth:`Page.extend_columns`).
+        """
+        if count <= 0:
+            return 0
+        pages = self._pages
+        cap = self._tuples_per_page
+        kinds = self._kinds
+        pos = 0
+        while pos < count:
+            if not pages or pages[-1].is_full:
+                pages.append(Page(len(pages), cap, kinds))
+            page = pages[-1]
+            room = min(cap - len(page), count - pos)
+            page.extend_columns(
+                [c[pos:pos + room] for c in columns] if pos or room < count else columns,
+                room,
+            )
+            pos += room
+        self._count += count
+        self._version += 1
+        return count
 
     def append_page(self, page: Page) -> int:
         """Adopt a whole page of pre-validated tuples; return its count.
@@ -211,6 +243,38 @@ class Relation:
             # objects, which must not alias the relation's live pages.
             rel.append_page(page.copy())
         return rel
+
+    # -- introspection -----------------------------------------------------------
+
+    def storage_stats(self) -> dict:
+        """Packed-layout statistics for the ``db.storage_stats()`` facade.
+
+        Counts packed (``array``) versus object-list column buffers across
+        all pages and sums their resident bytes (exact for packed buffers,
+        pointer-estimated for object lists -- see
+        :func:`repro.storage.codecs.column_bytes`).
+        """
+        packed = 0
+        total = 0
+        buffer_bytes = 0
+        for page in self._pages:
+            for col in page.columns:
+                total += 1
+                if is_packed(col):
+                    packed += 1
+                buffer_bytes += column_bytes(col)
+        return {
+            "pages": self.page_count,
+            "tuples": self._count,
+            "tuples_per_page": self._tuples_per_page,
+            "columns": len(self.schema),
+            "packed_columns": packed,
+            "total_columns": total,
+            "packed_fraction": (packed / total) if total else 1.0,
+            "buffer_bytes": buffer_bytes,
+            "bytes_per_row": (buffer_bytes / self._count) if self._count else 0.0,
+            "schema_bytes_per_row": self.schema.tuple_bytes,
+        }
 
     def __repr__(self) -> str:
         return "Relation(%r, %d tuples on %d pages)" % (

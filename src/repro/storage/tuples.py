@@ -196,6 +196,10 @@ def tuple_projector(indexes: Sequence[int]) -> Callable[[Sequence[Any]], Tuple[A
     these out of their page loops instead of building per-row tuples with
     a generator expression.
     """
+    if not indexes:
+        # Zero-column extraction (ungrouped aggregation): every row maps
+        # to the empty key.  A bare itemgetter() would raise.
+        return lambda row: ()
     if len(indexes) == 1:
         i = indexes[0]
         return lambda row: (row[i],)

@@ -1,0 +1,192 @@
+"""Executable-index maintenance under random DML, and DDL plan invalidation.
+
+The Section 2 access methods are live secondary indexes here: every
+``db.insert`` / ``db.delete_where`` must keep them synchronised with the
+heap.  These property tests drive a random DML mix against a table
+carrying a B+-tree, an AVL tree, and a hash index at once, checking
+after every step that
+
+* tree invariants still hold (``check_invariants``),
+* every index lookup agrees with a full scan of the heap, and
+* ordered indexes return range scans identical to the sorted truth.
+
+A second group pins the satellite-2 contract: creating or dropping an
+index is a *plan-shape* change, so cached subplans for that table must
+become unaddressable (access-path epochs in the plan fingerprints).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import MainMemoryDatabase
+from repro.operators.selection import Comparison
+from repro.planner.query import Query
+from repro.storage.tuples import DataType
+
+
+ORDERED_KINDS = ("btree", "avl")
+
+
+def multi_index_db(rows=()):
+    """One table, three live indexes: btree(key), avl(payload), hash(key2)."""
+    db = MainMemoryDatabase()
+    db.create_table(
+        "t",
+        [
+            ("key", DataType.INTEGER),
+            ("payload", DataType.INTEGER),
+            ("key2", DataType.INTEGER),
+        ],
+    )
+    for row in rows:
+        db.insert("t", row)
+    db.create_index("t", "key", kind="btree")
+    db.create_index("t", "payload", kind="avl")
+    db.create_index("t", "key2", kind="hash")
+    return db
+
+
+def heap_rows(db):
+    return list(db.table("t"))
+
+
+def assert_indexes_consistent(db):
+    rows = heap_rows(db)
+    for column, index in db.catalog.indexes_on("t").items():
+        col = db.table("t").schema.index_of(column)
+        check = getattr(index, "check_invariants", None)
+        if check is not None:
+            check()
+        assert len(index) == len(rows)
+        for value in {r[col] for r in rows}:
+            found = sorted(db.lookup("t", column, value))
+            truth = sorted(r for r in rows if r[col] == value)
+            assert found == truth, (column, value)
+        if index.supports_range_scan and rows:
+            values = sorted(r[col] for r in rows)
+            lo, hi = values[len(values) // 4], values[(3 * len(values)) // 4]
+            got = sorted(db.range_lookup("t", column, lo, hi))
+            want = sorted(r for r in rows if lo <= r[col] <= hi)
+            assert got == want, (column, lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# Random DML property tests
+# ---------------------------------------------------------------------------
+
+
+dml_steps = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 15)),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestRandomDML:
+    @settings(max_examples=25, deadline=None)
+    @given(steps=dml_steps)
+    def test_indexes_track_heap_through_dml(self, steps):
+        db = multi_index_db(rows=[(k, k * 3, k % 5) for k in range(12)])
+        serial = 100
+        for op, key in steps:
+            if op == "insert":
+                db.insert("t", (key, serial, key % 5))
+                serial += 1
+            else:
+                db.delete_where("t", "key", key)
+        assert_indexes_consistent(db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+        doomed=st.integers(-50, 50),
+    )
+    def test_delete_where_drops_every_match(self, keys, doomed):
+        db = multi_index_db(rows=[(k, i, abs(k) % 7) for i, k in enumerate(keys)])
+        removed = db.delete_where("t", "key", doomed)
+        assert removed == keys.count(doomed)
+        assert db.lookup("t", "key", doomed) == []
+        assert_indexes_consistent(db)
+
+    def test_interleaved_dml_long_run(self):
+        rng = random.Random(2026)
+        db = multi_index_db()
+        for step in range(200):
+            if rng.random() < 0.7 or db.table("t").cardinality == 0:
+                db.insert("t", (rng.randrange(25), step, step % 9))
+            else:
+                db.delete_where("t", "key", rng.randrange(25))
+            if step % 40 == 39:
+                assert_indexes_consistent(db)
+        assert_indexes_consistent(db)
+
+    @pytest.mark.parametrize("kind", ORDERED_KINDS)
+    def test_ordered_index_scan_matches_sorted_heap(self, kind):
+        rng = random.Random(7)
+        db = MainMemoryDatabase()
+        db.create_table("t", [("key", DataType.INTEGER)])
+        keys = [rng.randrange(100) for _ in range(80)]
+        for k in keys:
+            db.insert("t", (k,))
+        db.create_index("t", "key", kind=kind)
+        got = [r[0] for r in db.range_lookup("t", "key", -1, 101)]
+        assert got == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Index DDL must invalidate cached subplans (access-path epochs)
+# ---------------------------------------------------------------------------
+
+
+QUERY = Query(tables=["t"], predicates=[("t", Comparison("key", "<", 40))])
+
+
+def seeded_db():
+    db = MainMemoryDatabase()
+    db.create_table(
+        "t", [("key", DataType.INTEGER), ("payload", DataType.INTEGER)]
+    )
+    for i in range(120):
+        db.insert("t", (i, i))
+    db.analyze()
+    return db
+
+
+class TestIndexDDLInvalidation:
+    def test_create_index_invalidates_cached_plans(self):
+        db = seeded_db()
+        first = sorted(db.execute(QUERY))
+        assert sorted(db.execute(QUERY)) == first
+        assert db.reuse_stats()["hits"] >= 1
+        invalidations = db.reuse_stats()["invalidations"]
+        db.create_index("t", "key", kind="btree")
+        assert db.reuse_stats()["invalidations"] > invalidations
+        # Replans (now index-eligible) and still answers correctly.
+        assert sorted(db.execute(QUERY)) == first
+
+    def test_drop_index_invalidates_cached_plans(self):
+        db = seeded_db()
+        db.create_index("t", "key", kind="btree")
+        first = sorted(db.execute(QUERY))
+        invalidations = db.reuse_stats()["invalidations"]
+        db.drop_index("t", "key")
+        assert db.reuse_stats()["invalidations"] > invalidations
+        assert sorted(db.execute(QUERY)) == first
+
+    def test_epoch_catches_catalog_level_ddl(self):
+        # Even bypassing the facade's eager invalidation, the epoch in
+        # the fingerprint must make stale entries unaddressable.
+        db = seeded_db()
+        before = db.catalog.access_epoch("t")
+        db.create_index("t", "key", kind="avl")
+        assert db.catalog.access_epoch("t") == before + 1
+        db.drop_index("t", "key")
+        assert db.catalog.access_epoch("t") == before + 2
+        # Dropping the table retires its epoch entirely.
+        db.drop_table("t")
+        assert db.catalog.access_epoch("t") == 0
