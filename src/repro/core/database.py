@@ -26,7 +26,12 @@ from repro.access.avl import AVLTree
 from repro.access.btree import BPlusTree
 from repro.access.hash_index import HashIndex
 from repro.access.paged_binary import PagedBinaryTree
-from repro.cost.counters import CostReport, OperationCounters
+from repro.core.rwlock import ReadWriteLock
+from repro.cost.counters import (
+    CostReport,
+    OperationCounters,
+    ShardedOperationCounters,
+)
 from repro.cost.parameters import CostParameters
 from repro.governor import Governor, GovernorConfig
 from repro.join.parallel import validate_workers
@@ -69,12 +74,24 @@ class MainMemoryDatabase:
         log_compress: bool = False,
         log_pipeline: bool = False,
         recovery_workers: int = 1,
+        sharded_counters: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.params = params if params is not None else CostParameters()
         self.memory_pages = memory_pages
         self.page_bytes = page_bytes
-        self.counters = OperationCounters()
+        #: Shared operation tallies.  Sharded by default: each thread
+        #: charges its own shard and the six fields read as merged
+        #: totals, so concurrent sessions get exact per-statement deltas
+        #: (``thread_snapshot``) without serialising.  ``False`` keeps
+        #: the plain single-threaded counter object.
+        self.counters: OperationCounters = (
+            ShardedOperationCounters() if sharded_counters else OperationCounters()
+        )
+        #: Catalog read-write lock: queries hold the read side (any
+        #: number in parallel), DDL/DML hold the write side.  Bank
+        #: statements never touch it -- only the relational engine does.
+        self._catalog_rw = ReadWriteLock("repro.core.MainMemoryDatabase._catalog_rw")
         #: Page-at-a-time operator execution (docs/PERF.md); counted costs
         #: are identical to the tuple-at-a-time loops either way.
         self.batch = batch
@@ -150,17 +167,20 @@ class MainMemoryDatabase:
         if not isinstance(schema, Schema):
             schema = Schema([Field(n, t) for n, t in schema])
         relation = Relation(name, schema, self.page_bytes)
-        self.catalog.register(relation)
+        with self._catalog_rw.write_locked():
+            self.catalog.register(relation)
         return relation
 
     def register_table(self, relation: Relation) -> Relation:
         """Adopt an externally built relation (workload generators)."""
-        self._invalidate_reuse(relation.name)
-        return self.catalog.register(relation)
+        with self._catalog_rw.write_locked():
+            self._invalidate_reuse(relation.name)
+            return self.catalog.register(relation)
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop(name)
-        self._invalidate_reuse(name)
+        with self._catalog_rw.write_locked():
+            self.catalog.drop(name)
+            self._invalidate_reuse(name)
 
     def create_index(self, table: str, column: str, kind: str = "btree") -> Any:
         """Build a secondary index over existing rows; maintained on
@@ -176,20 +196,23 @@ class MainMemoryDatabase:
                 "unknown index kind %r (choose from %s)"
                 % (kind, sorted(_INDEX_KINDS))
             ) from None
-        relation = self.catalog.relation(table)
-        index = factory(counters=self.counters)
-        col = relation.schema.index_of(column)
-        for tid, row in relation.scan():
-            index.insert(row[col], tid)
-        self.catalog.register_index(table, column, index)
-        # A new access path changes how future plans address this table;
-        # cached subplans from the old plan shape must not be served.
-        self._invalidate_reuse(table)
-        return index
+        with self._catalog_rw.write_locked():
+            relation = self.catalog.relation(table)
+            index = factory(counters=self.counters)
+            col = relation.schema.index_of(column)
+            for tid, row in relation.scan():
+                index.insert(row[col], tid)
+            self.catalog.register_index(table, column, index)
+            # A new access path changes how future plans address this
+            # table; cached subplans from the old shape must not be
+            # served.
+            self._invalidate_reuse(table)
+            return index
 
     def drop_index(self, table: str, column: str) -> None:
-        self.catalog.drop_index(table, column)
-        self._invalidate_reuse(table)
+        with self._catalog_rw.write_locked():
+            self.catalog.drop_index(table, column)
+            self._invalidate_reuse(table)
 
     # -- DML ------------------------------------------------------------------------
 
@@ -200,12 +223,13 @@ class MainMemoryDatabase:
     def insert(self, table: str, values: Sequence[Any]) -> Tuple[int, int]:
         """Insert one row, maintaining every index on the table."""
         self._chaos_point("db insert %s" % table)
-        relation = self.catalog.relation(table)
-        tid = relation.insert(values)
-        for column, index in self.catalog.indexes_on(table).items():
-            index.insert(values[relation.schema.index_of(column)], tid)
-        self._invalidate_reuse(table)
-        return tid
+        with self._catalog_rw.write_locked():
+            relation = self.catalog.relation(table)
+            tid = relation.insert(values)
+            for column, index in self.catalog.indexes_on(table).items():
+                index.insert(values[relation.schema.index_of(column)], tid)
+            self._invalidate_reuse(table)
+            return tid
 
     def insert_many(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         count = 0
@@ -223,21 +247,22 @@ class MainMemoryDatabase:
         simple, and sufficient for the workloads here.
         """
         self._chaos_point("db delete %s" % table)
-        relation = self.catalog.relation(table)
-        col = relation.schema.index_of(column)
-        victims = [tid for tid, row in relation.scan() if row[col] == value]
-        if not victims:
-            return 0
-        # Simplest correct strategy: rebuild the relation without victims.
-        survivors = [row for _, row in relation.scan() if row[col] != value]
-        relation.truncate()
-        for row in survivors:
-            relation.insert_unchecked(row)
-        for idx_col in list(self.catalog.indexes_on(table)):
-            self.catalog.drop_index(table, idx_col)
-            self.create_index(table, idx_col)
-        self._invalidate_reuse(table)
-        return len(victims)
+        with self._catalog_rw.write_locked():
+            relation = self.catalog.relation(table)
+            col = relation.schema.index_of(column)
+            victims = [tid for tid, row in relation.scan() if row[col] == value]
+            if not victims:
+                return 0
+            # Simplest correct strategy: rebuild without the victims.
+            survivors = [row for _, row in relation.scan() if row[col] != value]
+            relation.truncate()
+            for row in survivors:
+                relation.insert_unchecked(row)
+            for idx_col in list(self.catalog.indexes_on(table)):
+                self.catalog.drop_index(table, idx_col)
+                self.create_index(table, idx_col)
+            self._invalidate_reuse(table)
+            return len(victims)
 
     # -- introspection ------------------------------------------------------------------
 
@@ -316,23 +341,27 @@ class MainMemoryDatabase:
         from another thread aborts within one page of work.
         """
         self._chaos_point("db execute")
-        plan = self._planner.plan(query)
-        handle = self.governor.admit(self.memory_pages, timeout=timeout)
-        try:
-            ctx = PlanContext(
-                catalog=self.catalog,
-                memory_pages=self.memory_pages,
-                params=self.params,
-                counters=self.counters,
-                batch=self.batch,
-                columnar=self.columnar,
-                join_workers=self.join_workers,
-                reuse_cache=self.reuse,
-                guard=handle.guard,
-            )
-            return plan.execute(ctx)
-        finally:
-            self.governor.release(handle)
+        # Read-only statements share the catalog lock's read side, so
+        # any number of them plan and execute in parallel; DDL/DML take
+        # the write side and run alone.
+        with self._catalog_rw.read_locked():
+            plan = self._planner.plan(query)
+            handle = self.governor.admit(self.memory_pages, timeout=timeout)
+            try:
+                ctx = PlanContext(
+                    catalog=self.catalog,
+                    memory_pages=self.memory_pages,
+                    params=self.params,
+                    counters=self.counters,
+                    batch=self.batch,
+                    columnar=self.columnar,
+                    join_workers=self.join_workers,
+                    reuse_cache=self.reuse,
+                    guard=handle.guard,
+                )
+                return plan.execute(ctx)
+            finally:
+                self.governor.release(handle)
 
     def cancel(self, qid: int) -> bool:
         """Cancel a running query by id; True if it was active."""
@@ -539,6 +568,12 @@ class MainMemoryDatabase:
     def governor_stats(self) -> Dict[str, Any]:
         """Admission/cancellation/breaker counts from the governor."""
         return self.governor.stats()
+
+    def concurrency_stats(self) -> Dict[str, Any]:
+        """Catalog read-write lock occupancy.  ``peak_readers`` > 1 is
+        the direct evidence that more than one read-only statement was
+        in flight at the same instant."""
+        return self._catalog_rw.occupancy()
 
     def analyze(self, table: Optional[str] = None) -> None:
         """Refresh optimizer statistics (all tables when ``table`` is

@@ -12,8 +12,9 @@ paper plots, independent of interpreter speed.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.cost.parameters import CostParameters
 
@@ -179,6 +180,133 @@ class OperationCounters:
         )
 
 
+class ShardedOperationCounters(OperationCounters):
+    """Thread-sharded tallies with deterministic merge semantics.
+
+    The relational facade shares one counter object across every session
+    thread; with plain :class:`OperationCounters` two concurrent
+    statements interleave their increments, so a per-statement
+    snapshot-diff is meaningless.  This subclass gives each thread its
+    own private shard (a plain :class:`OperationCounters`): the six
+    increment helpers charge the calling thread's shard, the six field
+    names become read-properties that sum every shard (addition
+    commutes, so the merge is deterministic regardless of thread
+    timing), and :meth:`thread_snapshot` exposes the calling thread's
+    shard alone -- diffing it around a statement yields *exactly* that
+    statement's charges even while other threads execute concurrently.
+
+    Shards live in an append-only list rather than a dict keyed by
+    thread id: thread idents are reused by the OS, and keying by ident
+    would let a new thread overwrite (and lose) a finished thread's
+    tallies.  A dead thread's shard simply keeps contributing to the
+    totals, which is what "the work happened" means.
+
+    The base ``__init__`` is deliberately not called: the six dataclass
+    fields are overridden by data-descriptor properties here, so there
+    are no instance attributes to initialise (and assigning them would
+    raise).  All other base behaviour -- ``snapshot``, ``__add__``,
+    ``__sub__``, ``as_dict``, the costing methods -- reads through the
+    properties and works unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._shards: List[OperationCounters] = []
+        self._shards_mu = threading.Lock()
+        self._local = threading.local()
+
+    # -- shard plumbing ----------------------------------------------------
+
+    def _shard(self) -> OperationCounters:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = OperationCounters()
+            with self._shards_mu:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    def _shards_view(self) -> List[OperationCounters]:
+        with self._shards_mu:
+            return list(self._shards)
+
+    def thread_snapshot(self) -> OperationCounters:
+        """An independent copy of the *calling thread's* tallies only."""
+        return self._shard().snapshot()
+
+    # -- merged read side --------------------------------------------------
+
+    @property
+    def comparisons(self) -> int:  # type: ignore[override]
+        return sum(s.comparisons for s in self._shards_view())
+
+    @property
+    def hashes(self) -> int:  # type: ignore[override]
+        return sum(s.hashes for s in self._shards_view())
+
+    @property
+    def moves(self) -> int:  # type: ignore[override]
+        return sum(s.moves for s in self._shards_view())
+
+    @property
+    def swaps(self) -> int:  # type: ignore[override]
+        return sum(s.swaps for s in self._shards_view())
+
+    @property
+    def sequential_ios(self) -> int:  # type: ignore[override]
+        return sum(s.sequential_ios for s in self._shards_view())
+
+    @property
+    def random_ios(self) -> int:  # type: ignore[override]
+        return sum(s.random_ios for s in self._shards_view())
+
+    # -- sharded write side ------------------------------------------------
+
+    def compare(self, n: int = 1) -> None:
+        self._shard().compare(n)
+
+    def hash_key(self, n: int = 1) -> None:
+        self._shard().hash_key(n)
+
+    def move_tuple(self, n: int = 1) -> None:
+        self._shard().move_tuple(n)
+
+    def swap_tuples(self, n: int = 1) -> None:
+        self._shard().swap_tuples(n)
+
+    def io_sequential(self, pages: int = 1) -> None:
+        self._shard().io_sequential(pages)
+
+    def io_random(self, pages: int = 1) -> None:
+        self._shard().io_random(pages)
+
+    def absorb(self, other: OperationCounters) -> None:
+        """Fold ``other`` into the calling thread's shard (parallel join
+        coordinators absorb their workers' tallies on their own thread,
+        so the statement-level thread diff still captures them)."""
+        self._shard().absorb(other)
+
+    def reset(self) -> None:
+        """Zero every shard in place (quiescent use only, like the base
+        class: a reset racing live charges drops those charges)."""
+        for shard in self._shards_view():
+            shard.reset()
+
+    def snapshot(self) -> OperationCounters:
+        """An independent plain-counter copy of the merged totals."""
+        merged = OperationCounters()
+        for shard in self._shards_view():
+            merged.absorb(shard)
+        return merged
+
+    def __repr__(self) -> str:
+        with self._shards_mu:
+            n = len(self._shards)
+        return "ShardedOperationCounters(%d shards, %s)" % (
+            n,
+            self.as_dict(),
+        )
+
+
 @dataclass(frozen=True)
 class CostReport:
     """An immutable costed summary of one algorithm execution."""
@@ -213,4 +341,9 @@ class CostReport:
         )
 
 
-__all__ = ["CostReport", "OperationCounters", "heap_push_charges"]
+__all__ = [
+    "CostReport",
+    "OperationCounters",
+    "ShardedOperationCounters",
+    "heap_push_charges",
+]

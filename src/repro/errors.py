@@ -32,6 +32,19 @@ class ReproError(Exception):
     """Base class for every typed error the reproduction raises."""
 
 
+class Retryable:
+    """Marker mixin: the failed statement may be retried safely.
+
+    Mixed into errors whose failure is *transient by construction* -- the
+    system rolled the offending work back (deadlock victim) or never
+    performed it (a queued-but-ungranted lock request), so re-running the
+    same statement is sound.  The server's retry layer
+    (:mod:`repro.server.retry`) keys off this marker, and the wire
+    protocol carries it as the ``retryable`` error field so remote
+    clients can implement the same policy.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """An invalid configuration or argument value the caller passed in."""
 
@@ -60,9 +73,10 @@ class GovernorError(ReproError):
 class AdmissionRejected(GovernorError):
     """The governor refused to admit the query (budget or queue full).
 
-    ``reason`` is one of ``"queue-full"``, ``"memory"``, or
-    ``"concurrency"`` so callers and tests can tell the rejection paths
-    apart without parsing the message.
+    ``reason`` is one of ``"queue-full"``, ``"memory"``,
+    ``"concurrency"``, or ``"overload"`` (the shed valve fast-rejected
+    the request instead of queueing it) so callers and tests can tell
+    the rejection paths apart without parsing the message.
     """
 
     def __init__(
@@ -84,14 +98,16 @@ class ProtocolError(SessionError, ValueError):
     """A malformed, oversized, or truncated wire frame."""
 
 
-class TransactionAborted(SessionError):
+class TransactionAborted(SessionError, Retryable):
     """The session's open transaction was rolled back by the system.
 
     ``reason`` is machine-readable: ``"deadlock"`` (this transaction was
     the victim closing a wait-for cycle), ``"lock-timeout"`` (a lock wait
-    exceeded its bound), ``"disconnect"`` (the client vanished
+    exceeded its bound), ``"admission"`` (a parked statement could not
+    reacquire its admission slot), ``"disconnect"`` (the client vanished
     mid-transaction), or ``"crash"`` (the server crashed before the
-    commit group reached the durable log).
+    commit group reached the durable log).  The rollback already
+    happened, so the transaction is :class:`Retryable` from the top.
     """
 
     def __init__(self, message: str, reason: str = "deadlock") -> None:
@@ -99,12 +115,14 @@ class TransactionAborted(SessionError):
         self.reason = reason
 
 
-class WouldBlock(SessionError):
+class WouldBlock(SessionError, Retryable):
     """A non-blocking lock request is queued but not yet granted.
 
-    Raised only in ``wait=False`` mode (the deterministic-schedule test
-    harness); the request stays on the lock's FIFO queue, so the caller
-    retries the same statement after other sessions make progress.
+    Raised in ``wait=False`` mode; the request stays on the lock's FIFO
+    queue, so the caller retries the same statement after other sessions
+    make progress.  The session layer turns this into an admission-aware
+    wait (release the governor slot, block in the lock table, reacquire);
+    direct store callers see it as a :class:`Retryable` signal.
     """
 
 
@@ -130,6 +148,7 @@ __all__ = [
     "QueryCancelled",
     "QueryTimeout",
     "ReproError",
+    "Retryable",
     "SessionError",
     "StateError",
     "TransactionAborted",

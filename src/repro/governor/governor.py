@@ -13,6 +13,16 @@ memory pages -- behind a bounded wait queue:
   **memory pressure** to its registered shrinkable consumers (the plan
   reuse cache), evicting LRU entries -- degrade the caches before
   degrading the queries.
+* An admitted statement that blocks in the Section 5 lock table can
+  **park** its slot (:meth:`Governor.begin_wait` /
+  :meth:`Governor.end_wait`): admission capacity measures statements
+  *running*, not statements *waiting*, so past saturation the gate keeps
+  serving runnable work instead of filling with lock-waiters.
+* Under overload the optional **shed valve**
+  (:attr:`GovernorConfig.shed_threshold`) fast-rejects new requests with
+  ``AdmissionRejected(reason="overload")`` once the wait queue is deep
+  enough -- a typed "try again later" in microseconds beats a 10-second
+  admission timeout.
 
 Admission is thread-safe: the facade's ``execute`` runs on the caller's
 thread, so concurrent callers genuinely contend here.  In the common
@@ -27,7 +37,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.errors import AdmissionRejected, ConfigurationError, QueryTimeout
+from repro.errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    QueryTimeout,
+    StateError,
+)
 from repro.governor.breaker import CircuitBreaker
 from repro.governor.cancellation import CancellationToken
 from repro.governor.grant import MemoryGrant
@@ -49,6 +64,14 @@ class GovernorConfig:
     max_queue: int = 16
     #: Seconds a queued request may wait before raising QueryTimeout.
     admission_timeout: float = 10.0
+    #: Overload shed valve: when this many requests are already waiting,
+    #: a request that cannot be admitted immediately is fast-rejected
+    #: (``AdmissionRejected(reason="overload")``) instead of queueing --
+    #: degrade by answering "no" quickly, never by queueing unboundedly.
+    #: ``None`` disables shedding (only the ``max_queue`` bound applies).
+    #: Parked-slot reacquisition (:meth:`Governor.end_wait`) is exempt:
+    #: those queries were already admitted once.
+    shed_threshold: Optional[int] = None
     #: Default per-query execution deadline (None = no deadline).
     default_timeout: Optional[float] = None
     #: Seconds before a parallel bucket job's worker counts as failed.
@@ -70,6 +93,11 @@ class GovernorConfig:
         if not 0.0 <= self.pressure_keep <= 1.0:
             raise ConfigurationError(
                 "pressure_keep must be in [0, 1], got %r" % (self.pressure_keep,)
+            )
+        if self.shed_threshold is not None and self.shed_threshold < 0:
+            raise ConfigurationError(
+                "shed_threshold cannot be negative, got %r"
+                % (self.shed_threshold,)
             )
 
 
@@ -103,8 +131,13 @@ class Governor:
         self._capacity = threading.Condition(self._lock)
         self._qids = itertools.count(1)
         self._active: Dict[int, QueryHandle] = {}
+        #: Admitted queries that released their slot for a lock wait
+        #: (:meth:`begin_wait`); their pages are returned to the budget
+        #: until :meth:`end_wait` (or :meth:`release`) claims them back.
+        self._parked: Dict[int, QueryHandle] = {}
         self._pages_in_use = 0
         self._waiting = 0
+        self._reacquiring = 0
         #: Consumers with a ``shrink_to(n)`` method and ``__len__`` (the
         #: plan reuse cache) evicted under memory pressure.
         self._shrinkables: List[Any] = []
@@ -117,6 +150,11 @@ class Governor:
         self.cancelled = 0
         self.peak_concurrent = 0
         self.pressure_evictions = 0
+        #: Admission-aware lock waits: slots given back mid-statement,
+        #: successful reacquisitions, and shed-valve fast rejections.
+        self.slots_released_in_wait = 0
+        self.requeues = 0
+        self.sheds = 0
 
     # -- wiring ------------------------------------------------------------------
 
@@ -169,6 +207,21 @@ class Governor:
                 # Shed cache weight before shedding queries.
                 self._apply_pressure_locked()
             if not self._fits(pages):
+                if (
+                    cfg.shed_threshold is not None
+                    and self._waiting >= cfg.shed_threshold
+                ):
+                    # Overload: answer "no" in microseconds rather than
+                    # parking the caller behind a queue it will likely
+                    # time out of anyway (graceful degradation).
+                    self.sheds += 1
+                    raise AdmissionRejected(
+                        "shedding load: %d requests already waiting "
+                        "(shed threshold %d) for query %d"
+                        % (self._waiting, cfg.shed_threshold, qid),
+                        qid=qid,
+                        reason="overload",
+                    )
                 if self._waiting >= cfg.max_queue:
                     self.rejected_queue_full += 1
                     raise AdmissionRejected(
@@ -224,18 +277,98 @@ class Governor:
         return handle
 
     def release(self, handle: QueryHandle) -> None:
-        """Return an admitted query's capacity and wake queued requests."""
+        """Return an admitted query's capacity and wake queued requests.
+
+        Safe on a parked handle too (its pages were already returned at
+        :meth:`begin_wait`; the registry entry is simply forgotten), so a
+        single ``finally: release(handle)`` covers every exit path of a
+        statement -- including a crash or abort while its slot was
+        parked -- without leaking capacity.
+        """
         with self._capacity:
             if self._active.pop(handle.qid, None) is not None:
                 self._pages_in_use -= handle.pages
                 self._capacity.notify_all()
+            elif self._parked.pop(handle.qid, None) is not None:
+                self._capacity.notify_all()
+
+    # -- admission-aware lock waits ----------------------------------------------
+
+    def begin_wait(self, handle: QueryHandle) -> None:
+        """Park an admitted query: give its slot back while it blocks.
+
+        The Section 5 lock table makes waits cheap, but a waiter that
+        keeps its admission slot starves the queries that could actually
+        run -- past saturation the gate fills with blocked statements and
+        throughput collapses.  ``begin_wait`` moves the query from the
+        active set to the parked set and returns its pages to the
+        budget; the caller then blocks on the lock table (holding *no*
+        governor capacity) and calls :meth:`end_wait` once its lock is
+        granted.
+        """
+        with self._capacity:
+            if handle.qid in self._parked:
+                raise StateError(
+                    "query %d is already parked" % handle.qid
+                )
+            if self._active.pop(handle.qid, None) is None:
+                raise StateError(
+                    "query %d is not active; cannot park its slot"
+                    % handle.qid
+                )
+            self._parked[handle.qid] = handle
+            self._pages_in_use -= handle.pages
+            self.slots_released_in_wait += 1
+            self._capacity.notify_all()
+
+    def end_wait(
+        self, handle: QueryHandle, timeout: Optional[float] = None
+    ) -> None:
+        """Reacquire a parked query's slot (bounded wait).
+
+        Parked queries were already admitted once, so reacquisition
+        bypasses the bounded queue and the shed valve -- it only waits
+        for the concurrency/memory budgets themselves, for at most
+        ``timeout`` (default: the admission timeout).  On timeout the
+        handle *stays parked* (so ``release`` still cleans it up) and
+        :class:`~repro.errors.QueryTimeout` is raised; the caller must
+        abort the statement rather than run it uncounted.
+        """
+        cfg = self.config
+        with self._capacity:
+            if handle.qid not in self._parked:
+                raise StateError(
+                    "query %d is not parked; cannot reacquire" % handle.qid
+                )
+            bound = timeout if timeout is not None else cfg.admission_timeout
+            deadline = time.monotonic() + bound
+            self._reacquiring += 1
+            try:
+                while not self._fits(handle.pages):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._capacity.wait(remaining):
+                        if not self._fits(handle.pages):
+                            self.admission_timeouts += 1
+                            raise QueryTimeout(
+                                "query %d waited %.3gs to reacquire its "
+                                "admission slot after a lock wait"
+                                % (handle.qid, bound),
+                                qid=handle.qid,
+                            )
+            finally:
+                self._reacquiring -= 1
+            del self._parked[handle.qid]
+            self._active[handle.qid] = handle
+            self._pages_in_use += handle.pages
+            self.requeues += 1
+            self.peak_concurrent = max(self.peak_concurrent, len(self._active))
 
     # -- lifecycle ---------------------------------------------------------------
 
     def cancel(self, qid: int) -> bool:
-        """Cancel a running query; True if it was active."""
+        """Cancel a running (or parked) query; True if it was known."""
         with self._lock:
-            handle = self._active.get(qid)
+            handle = self._active.get(qid) or self._parked.get(qid)
             if handle is None:
                 return False
             handle.token.cancel()
@@ -244,10 +377,11 @@ class Governor:
 
     def cancel_all(self) -> int:
         with self._lock:
-            for handle in self._active.values():
+            victims = list(self._active.values()) + list(self._parked.values())
+            for handle in victims:
                 handle.token.cancel()
-            self.cancelled += len(self._active)
-            return len(self._active)
+            self.cancelled += len(victims)
+            return len(victims)
 
     def revoke(self, qid: int, to_pages: int) -> Optional[int]:
         """Shrink a running query's grant; returns its new page budget.
@@ -283,6 +417,11 @@ class Governor:
                 "active": len(self._active),
                 "pages_in_use": self._pages_in_use,
                 "waiting": self._waiting,
+                "parked": len(self._parked),
+                "reacquiring": self._reacquiring,
+                "slots_released_in_wait": self.slots_released_in_wait,
+                "requeues": self.requeues,
+                "sheds": self.sheds,
                 "admitted": self.admitted,
                 "rejected_queue_full": self.rejected_queue_full,
                 "rejected_memory": self.rejected_memory,

@@ -6,8 +6,11 @@ Layers, bottom up:
   (real threads over the shared lock table, pre-commit, group commit,
   crash/recover).
 * :mod:`repro.server.session` -- per-connection sessions: the statement
-  language, BEGIN/COMMIT/ROLLBACK, governor admission, per-session
-  reuse-cache views, and the SQL bridge.
+  language, BEGIN/COMMIT/ROLLBACK, admission-aware lock waits,
+  per-session reuse-cache views, automatic retry of idempotent
+  statements, and the SQL bridge.
+* :mod:`repro.server.retry` -- the capped-jitter
+  :class:`~repro.server.retry.RetryPolicy` the sessions retry under.
 * :mod:`repro.server.protocol` -- length-prefixed JSON frames and the
   typed-error wire mapping.
 * :mod:`repro.server.net` / :mod:`repro.server.client` -- the asyncio
@@ -28,6 +31,7 @@ from repro.server.protocol import (
     raise_error,
     request,
 )
+from repro.server.retry import RetryPolicy
 from repro.server.session import Session, SessionManager, StatementResult
 
 __all__ = [
@@ -36,6 +40,7 @@ __all__ = [
     "DatabaseServer",
     "FrameDecoder",
     "MAX_FRAME_BYTES",
+    "RetryPolicy",
     "ServerClient",
     "Session",
     "SessionManager",

@@ -245,6 +245,58 @@ class BankStore:
                 "dependencies": list(deps),
             }
 
+    def await_grant(self, tid: int, timeout: Optional[float] = None) -> None:
+        """Block until ``tid``'s queued lock request is granted.
+
+        The admission-aware wait path: a statement that got
+        :class:`~repro.errors.WouldBlock` parks its governor slot
+        (``Governor.begin_wait``) and then waits *here*, consuming no
+        admission capacity while blocked.  Returns once the grant
+        arrived (the request's ``waiting_for`` marker stays set; the
+        retried statement consumes it), returns immediately when there
+        is no queued request.  Raises
+        :class:`~repro.errors.TransactionAborted` if the transaction
+        died while waiting (crash, disconnect rollback) and
+        :class:`~repro.errors.QueryTimeout` -- after rolling the
+        transaction back -- when the bounded wait expires, exactly like
+        the in-line blocking mode.
+        """
+        with self._mu:
+            txn = self._txns.get(tid)
+            if txn is None:
+                raise SessionError("unknown transaction id %r" % (tid,))
+            if txn.state is not TxnState.ACTIVE:
+                raise TransactionAborted(
+                    "transaction %d was aborted while parked for a lock"
+                    % tid,
+                    reason=txn.abort_reason or "crash",
+                )
+            pending = txn.waiting_for
+            if pending is None:
+                return
+            record, mode = pending
+            bound = timeout if timeout is not None else self.lock_wait_timeout
+            deadline = time.monotonic() + bound
+            while not self._holds(tid, record, mode):
+                if txn.state is not TxnState.ACTIVE:
+                    raise TransactionAborted(
+                        "transaction %d was aborted while parked for "
+                        "record %d" % (tid, record),
+                        reason=txn.abort_reason or "crash",
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.locks.cancel_wait(tid)
+                    txn.waiting_for = None
+                    self.lock_timeouts += 1
+                    self._rollback_locked(txn, "lock-timeout")
+                    raise QueryTimeout(
+                        "transaction %d waited %.3gs for record %d; "
+                        "aborted (lock waits are bounded, sessions "
+                        "never hang)" % (tid, bound, record)
+                    )
+                self._cond.wait(remaining)
+
     def rollback(self, tid: int, reason: str = "requested") -> None:
         """Undo ``tid``'s writes and release its locks (no pre-commit)."""
         with self._mu:

@@ -16,8 +16,10 @@ or a typed error (the taxonomy class name travels with the message, plus
 the machine-readable fields clients need: the statement ``position`` for
 :class:`~repro.planner.sql.SqlError`, the admission ``reason`` for
 :class:`~repro.errors.AdmissionRejected`, the abort ``reason`` for
-:class:`~repro.errors.TransactionAborted`, and ``txn_aborted`` whenever
-the error also rolled the session's open transaction back)::
+:class:`~repro.errors.TransactionAborted`, ``retryable`` when the error
+carries the :class:`~repro.errors.Retryable` marker so clients know a
+resubmit is safe, and ``txn_aborted`` whenever the error also rolled the
+session's open transaction back)::
 
     {"id": 7, "ok": false,
      "error": {"type": "SqlError", "message": "unknown column 'wat'",
@@ -42,10 +44,12 @@ from repro.errors import (
     QueryCancelled,
     QueryTimeout,
     ReproError,
+    Retryable,
     SessionError,
     StateError,
     TransactionAborted,
     UnplannableQueryError,
+    WouldBlock,
 )
 from repro.planner.sql import SqlError
 
@@ -138,6 +142,7 @@ _ERROR_TYPES = {
         StateError,
         TransactionAborted,
         UnplannableQueryError,
+        WouldBlock,
     )
 }
 
@@ -163,6 +168,10 @@ def error_payload(exc: BaseException, txn_aborted: bool = False) -> Dict[str, An
     reason = getattr(exc, "reason", None)
     if reason is not None:
         error["reason"] = reason
+    if isinstance(exc, Retryable):
+        # Clients may safely resubmit: the server rolled back whatever
+        # the statement did (and already spent its own retry budget).
+        error["retryable"] = True
     if txn_aborted:
         error["txn_aborted"] = True
     return error
@@ -186,7 +195,7 @@ def raise_error(error: Dict[str, Any]) -> None:
         exc = cls(message, qid=error.get("qid"))
     else:
         exc = cls(message)
-    for key in ("position", "reason", "txn_aborted"):
+    for key in ("position", "reason", "retryable", "txn_aborted"):
         if key in error and not hasattr(exc, key):
             setattr(exc, key, error[key])
     raise exc

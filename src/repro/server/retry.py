@@ -1,0 +1,63 @@
+"""Capped-jitter retry for idempotent statements.
+
+Deadlock-victim aborts are a *normal* outcome of two-phase locking -- the
+paper's own protocol picks a victim and expects it to try again.  When a
+statement is **idempotent by rollback** (it entered with no transaction
+open, so the system rolled back everything it did), the server can do
+that retry itself instead of bouncing a transient error to the client.
+
+The policy is classic capped exponential backoff with full jitter: the
+``attempt``-th retry sleeps ``uniform(0, min(max_delay, base_delay *
+2**attempt))``.  Jitter de-correlates the retriers (two deadlock victims
+retrying in lockstep just deadlock again); the cap keeps the tail
+latency bounded.  Randomness comes from a caller-supplied seeded
+``random.Random`` so retry schedules are reproducible run to run --
+sessions seed theirs from the session id.
+
+Only errors carrying the :class:`~repro.errors.Retryable` marker
+(deadlock/``WouldBlock``-family) are retried; timeouts and admission
+rejections are *load* signals and retrying them inside the server would
+amplify the overload the shed valve just relieved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how long between, automatic retries."""
+
+    #: Total attempts, counting the first run (1 = never retry).
+    max_attempts: int = 3
+    #: Backoff base: retry ``k`` draws from ``[0, base_delay * 2**k]``.
+    base_delay: float = 0.002
+    #: Ceiling on any single backoff draw, seconds.
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                "max_attempts must be >= 1, got %r" % (self.max_attempts,)
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                "need 0 <= base_delay <= max_delay, got %r / %r"
+                % (self.base_delay, self.max_delay)
+            )
+
+    def retries_left(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may run."""
+        return attempt < self.max_attempts
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to sleep before 0-based retry ``attempt`` runs."""
+        bound = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return rng.uniform(0.0, bound)
+
+
+__all__ = ["RetryPolicy"]

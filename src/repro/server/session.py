@@ -30,17 +30,35 @@ Concurrency contract:
   control throttles the transactional load exactly like query load.
   Outside an open transaction these statements autocommit (implicit
   BEGIN + COMMIT around the single statement).
-* **SQL statements serialize** on the manager's ``_sql_mu``: the
-  relational facade (catalog, reuse cache, shared counters) is built
-  single-threaded, and serializing here is what makes the per-statement
-  counter deltas exact -- the differential test asserts byte-for-byte
-  equality between the wire path and in-process execution.  Admission
-  still applies (``db.execute`` admits internally).
-* **Per-session reuse views**: under ``_sql_mu`` the session diffs the
-  shared :class:`~repro.planner.reuse.PlanReuseCache` statistics around
-  its statement, accumulating a private view of *its own* hits/misses --
-  the shared cache stays shared (that is what makes cross-session reuse
-  work), but each session can see what it contributed.
+* **Lock waits are admission-aware**: record operations run in
+  non-blocking mode, and when the Section 5 lock table queues the
+  request the statement *parks* its governor slot
+  (``Governor.begin_wait``), waits for the grant holding no admission
+  capacity (:meth:`~repro.server.bank.BankStore.await_grant`), then
+  reacquires the slot (``Governor.end_wait``) and retries.  Admission
+  measures statements running, not statements blocked, so overload
+  degrades into a throughput plateau instead of a collapse.
+* **Read-only SQL runs concurrently**: the facade's sharded counters
+  attribute charges to the executing thread
+  (``counters.thread_snapshot``) and the reuse cache keeps per-thread
+  tallies (``reuse.thread_stats``), so per-statement deltas stay exact
+  -- byte-for-byte equal to in-process execution, which the
+  differential suite asserts -- without a statement-serialising lock.
+  The catalog read-write lock lets any number of SELECTs share the read
+  side while DDL/DML briefly take the write side.  (With plain
+  unsharded counters the manager falls back to serialising SQL under
+  ``_sql_serial_mu`` to keep the snapshot diffs exact.)
+* **Per-session reuse views**: each session diffs its *thread's* view of
+  the shared :class:`~repro.planner.reuse.PlanReuseCache` around its
+  statement, accumulating what *it* contributed -- the shared cache
+  stays shared (that is what makes cross-session reuse work).
+* **Transient failures retry**: a statement that entered with no open
+  transaction is idempotent by rollback, so
+  :class:`~repro.errors.Retryable` failures (deadlock victimhood) are
+  retried inside the server under the manager's
+  :class:`~repro.server.retry.RetryPolicy` -- capped exponential
+  backoff with seeded full jitter.  Retry exhaustion re-raises the
+  original error, reason intact.
 
 Aborts initiated by the system (deadlock victim, lock-wait timeout,
 crash) roll the transaction back inside the store; the session clears its
@@ -51,20 +69,26 @@ wire layer flags the response with ``txn_aborted``.
 from __future__ import annotations
 
 import itertools
+import random
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.database import MainMemoryDatabase
 from repro.errors import (
     QueryTimeout,
+    ReproError,
+    Retryable,
     SessionError,
     StateError,
     TransactionAborted,
+    WouldBlock,
 )
 from repro.lint.runtime import tracked_lock
 from repro.planner.sql import SqlError
 from repro.server.bank import BankStore
+from repro.server.retry import RetryPolicy
 
 #: Reuse-cache statistic keys a session's view accumulates.
 _REUSE_KEYS = ("hits", "misses", "invalidations", "evictions")
@@ -142,13 +166,29 @@ class Session:
         self.closed = False
         self.statements = 0
         self.autocommits = 0
+        #: Times a statement parked its admission slot to wait for a lock.
+        self.lock_parks = 0
+        #: Automatic server-side retries of idempotent statements.
+        self.retries = 0
+        #: Seeded per-session jitter source: retry schedules reproduce.
+        self._rng = random.Random(0x1984 ^ (session_id * 7919))
         #: This session's private view of shared reuse-cache activity.
         self.reuse_view: Dict[str, int] = {k: 0 for k in _REUSE_KEYS}
 
     # -- dispatch ----------------------------------------------------------------
 
     def execute(self, stmt: str) -> StatementResult:
-        """Run one statement; raises taxonomy errors on failure."""
+        """Run one statement; raises taxonomy errors on failure.
+
+        A statement that *entered* with no transaction open is idempotent
+        by rollback -- whatever it did was undone -- so on a
+        :class:`~repro.errors.Retryable` failure (deadlock victimhood)
+        the server retries it under the manager's
+        :class:`~repro.server.retry.RetryPolicy` with seeded full-jitter
+        backoff.  Statements inside an explicit transaction are never
+        retried (the client owns that recovery), and exhaustion re-raises
+        the *original* error with its reason intact.
+        """
         if self.closed:
             raise SessionError("session %d is closed" % self.session_id)
         self.statements += 1
@@ -157,9 +197,26 @@ class Session:
             raise SqlError("empty statement", position=0)
         verb = tokens[0][0].upper()
         handler = self._HANDLERS.get(verb)
-        if handler is not None:
-            return handler(self, tokens)
-        return self._sql(stmt)
+        policy = self.manager.retry_policy
+        can_retry = policy is not None and self.txn is None
+        attempt = 0
+        while True:
+            try:
+                if handler is not None:
+                    return handler(self, tokens)
+                return self._sql(stmt)
+            except ReproError as exc:
+                if (
+                    not can_retry
+                    or not isinstance(exc, Retryable)
+                    or self.txn is not None
+                    or self.closed
+                    or not policy.retries_left(attempt + 1)
+                ):
+                    raise
+                time.sleep(policy.backoff(attempt, self._rng))
+                attempt += 1
+                self.retries += 1
 
     # -- bank statements ----------------------------------------------------------
 
@@ -203,16 +260,48 @@ class Session:
 
     def _bank_op(self, record: int, op) -> Tuple[Any, int, bool]:
         """Run one record-touching operation under governor admission,
-        autocommitting when no transaction is open."""
+        autocommitting when no transaction is open.
+
+        The operation runs in non-blocking mode; on
+        :class:`~repro.errors.WouldBlock` the statement parks its
+        admission slot, waits for the lock grant holding no capacity,
+        reacquires the slot, and retries -- the retried call consumes
+        the grant the lock table queued for it.  The single ``finally``
+        releases the handle active *or* parked, so no exit path (abort,
+        timeout, crash signal) leaks admission capacity.
+        """
         mgr = self.manager
-        handle = mgr.db.governor.admit(1, timeout=mgr.statement_timeout)
+        gov = mgr.db.governor
+        handle = gov.admit(1, timeout=mgr.statement_timeout)
         try:
             auto = self.txn is None
             if auto:
                 self.txn = mgr.bank.begin(self.session_id)
             tid = self.txn
             try:
-                value = op(tid, record)
+                while True:
+                    try:
+                        value = op(tid, record)
+                        break
+                    except WouldBlock:
+                        self.lock_parks += 1
+                        gov.begin_wait(handle)
+                        mgr.db._chaos_point("bank park %d" % record)
+                        mgr.bank.await_grant(tid)
+                        mgr.db._chaos_point("bank unpark %d" % record)
+                        try:
+                            gov.end_wait(
+                                handle, timeout=mgr.statement_timeout
+                            )
+                        except QueryTimeout:
+                            # The slot never came back, and the grant we
+                            # now hold would run uncounted.  Give it up.
+                            mgr.bank.rollback(tid, "admission")
+                            raise TransactionAborted(
+                                "transaction %d aborted: statement could"
+                                " not reacquire its admission slot" % tid,
+                                reason="admission",
+                            ) from None
             except (TransactionAborted, QueryTimeout):
                 # The store already rolled the transaction back.
                 self.txn = None
@@ -225,13 +314,14 @@ class Session:
                     self.txn = None
             return value, tid, auto
         finally:
-            mgr.db.governor.release(handle)
+            gov.release(handle)
 
     def _do_get(self, tokens) -> StatementResult:
         record = _int_arg(tokens, 1, "record id")
         _exact_arity(tokens, 2)
         value, tid, auto = self._bank_op(
-            record, lambda t, r: self.manager.bank.read_record(t, r)
+            record,
+            lambda t, r: self.manager.bank.read_record(t, r, wait=False),
         )
         return StatementResult(
             kind="value",
@@ -244,7 +334,10 @@ class Session:
         delta = _int_arg(tokens, 2, "delta")
         _exact_arity(tokens, 3)
         value, tid, auto = self._bank_op(
-            record, lambda t, r: self.manager.bank.add_record(t, r, delta)
+            record,
+            lambda t, r: self.manager.bank.add_record(
+                t, r, delta, wait=False
+            ),
         )
         return StatementResult(
             kind="value",
@@ -257,7 +350,10 @@ class Session:
         value = _int_arg(tokens, 2, "value")
         _exact_arity(tokens, 3)
         old, tid, auto = self._bank_op(
-            record, lambda t, r: self.manager.bank.set_record(t, r, value)
+            record,
+            lambda t, r: self.manager.bank.set_record(
+                t, r, value, wait=False
+            ),
         )
         return StatementResult(
             kind="value",
@@ -290,20 +386,46 @@ class Session:
 
     def _sql(self, stmt: str) -> StatementResult:
         mgr = self.manager
-        with mgr._sql_mu:
-            before = mgr.db.counters.snapshot()
-            reuse_before = mgr.db.reuse_stats()
-            rel = mgr.db.sql(stmt, timeout=mgr.statement_timeout)
-            delta = mgr.db.counters.snapshot() - before
-            reuse_after = mgr.db.reuse_stats()
-            for key in _REUSE_KEYS:
-                self.reuse_view[key] += reuse_after[key] - reuse_before[key]
-            return StatementResult(
-                kind="rows",
-                columns=list(rel.schema.names),
-                rows=[list(row) for _, row in rel.scan()],
-                counters=delta.as_dict(),
+        db = mgr.db
+        thread_snapshot = getattr(db.counters, "thread_snapshot", None)
+        if thread_snapshot is None:
+            # Plain shared counters cannot attribute charges to a
+            # thread; keep the legacy serialised path so the global
+            # snapshot diff stays exact.
+            with mgr._sql_serial_mu:
+                before = db.counters.snapshot()
+                reuse_before = db.reuse_stats()
+                rel = db.sql(stmt, timeout=mgr.statement_timeout)
+                delta = db.counters.snapshot() - before
+                reuse_after = db.reuse_stats()
+                for key in _REUSE_KEYS:
+                    self.reuse_view[key] += (
+                        reuse_after[key] - reuse_before[key]
+                    )
+        else:
+            # Sharded counters: this thread's shard sees exactly this
+            # statement's charges and the reuse cache keeps per-thread
+            # tallies, so read-only SQL interleaves freely while the
+            # per-statement deltas stay byte-exact.
+            reuse = db.reuse
+            before = thread_snapshot()
+            reuse_before = (
+                reuse.thread_stats() if reuse is not None else None
             )
+            rel = db.sql(stmt, timeout=mgr.statement_timeout)
+            delta = thread_snapshot() - before
+            if reuse is not None and reuse_before is not None:
+                reuse_after = reuse.thread_stats()
+                for key in _REUSE_KEYS:
+                    self.reuse_view[key] += (
+                        reuse_after[key] - reuse_before[key]
+                    )
+        return StatementResult(
+            kind="rows",
+            columns=list(rel.schema.names),
+            rows=[list(row) for _, row in rel.scan()],
+            counters=delta.as_dict(),
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -327,6 +449,8 @@ class Session:
             "txn": self.txn,
             "statements": self.statements,
             "autocommits": self.autocommits,
+            "lock_parks": self.lock_parks,
+            "retries": self.retries,
             "reuse_view": dict(self.reuse_view),
             "closed": self.closed,
         }
@@ -366,6 +490,8 @@ class SessionManager:
         group_size: int = 8,
         group_delay: float = 0.002,
         lock_wait_timeout: float = 5.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        auto_retry: bool = True,
     ) -> None:
         self.db = db if db is not None else MainMemoryDatabase()
         self.bank = (
@@ -380,9 +506,18 @@ class SessionManager:
             )
         )
         self.statement_timeout = statement_timeout
+        #: Server-side retry of idempotent statements; None disables.
+        self.retry_policy: Optional[RetryPolicy] = (
+            retry_policy
+            if retry_policy is not None
+            else (RetryPolicy() if auto_retry else None)
+        )
         self._mu = tracked_lock("repro.server.SessionManager._mu")
-        #: Serialises relational (SQL) statements; see the module docstring.
-        self._sql_mu = tracked_lock("repro.server.SessionManager._sql_mu")
+        #: Fallback serialisation for SQL when the facade was built with
+        #: plain (unsharded) counters; unused with the default database.
+        self._sql_serial_mu = tracked_lock(
+            "repro.server.SessionManager._sql_serial_mu"
+        )
         self._sids = itertools.count(1)
         self._sessions: Dict[int, Session] = {}
 
@@ -448,6 +583,7 @@ class SessionManager:
             "bank": self.bank.bank_stats(),
             "governor": self.db.governor_stats(),
             "reuse": self.db.reuse_stats(),
+            "concurrency": self.db.concurrency_stats(),
         }
 
     def close(self) -> None:

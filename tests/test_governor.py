@@ -181,6 +181,134 @@ class TestAdmission:
             GovernorConfig(max_queue=-1)
         with pytest.raises(ConfigurationError):
             GovernorConfig(pressure_keep=1.5)
+        with pytest.raises(ConfigurationError):
+            GovernorConfig(shed_threshold=-1)
+
+
+class TestAdmissionAwareWaits:
+    """begin_wait/end_wait: a blocked statement holds no admission slot."""
+
+    def test_parked_slot_admits_someone_else(self):
+        gov = Governor(GovernorConfig(max_concurrent=1, max_queue=0))
+        blocked = gov.admit(2)
+        gov.begin_wait(blocked)
+        stats = gov.stats()
+        assert stats["active"] == 0
+        assert stats["parked"] == 1
+        assert stats["pages_in_use"] == 0
+        assert stats["slots_released_in_wait"] == 1
+        # The freed slot is real capacity: a newcomer admits immediately.
+        other = gov.admit(2)
+        gov.release(other)
+        gov.end_wait(blocked)
+        stats = gov.stats()
+        assert stats["active"] == 1
+        assert stats["parked"] == 0
+        assert stats["requeues"] == 1
+        gov.release(blocked)
+        assert gov.stats()["pages_in_use"] == 0
+
+    def test_end_wait_waits_for_capacity(self):
+        gov = Governor(GovernorConfig(max_concurrent=1, max_queue=0))
+        parked = gov.admit(2)
+        gov.begin_wait(parked)
+        hog = gov.admit(2)
+        resumed = []
+
+        def resume():
+            gov.end_wait(parked, timeout=5.0)
+            resumed.append(True)
+
+        thread = threading.Thread(target=resume)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive() and not resumed  # no slot yet
+        gov.release(hog)
+        thread.join(timeout=5.0)
+        assert resumed
+        gov.release(parked)
+        assert gov.stats()["pages_in_use"] == 0
+
+    def test_end_wait_timeout_leaves_handle_parked_for_release(self):
+        gov = Governor(GovernorConfig(max_concurrent=1, max_queue=0))
+        parked = gov.admit(2)
+        gov.begin_wait(parked)
+        hog = gov.admit(2)
+        with pytest.raises(QueryTimeout):
+            gov.end_wait(parked, timeout=0.05)
+        assert gov.stats()["admission_timeouts"] == 1
+        # The single release covers the parked handle too: no slot leaks.
+        gov.release(parked)
+        gov.release(hog)
+        stats = gov.stats()
+        assert stats["active"] == 0
+        assert stats["parked"] == 0
+        assert stats["pages_in_use"] == 0
+
+    def test_release_of_parked_handle_does_not_double_credit(self):
+        gov = Governor(GovernorConfig(max_concurrent=2, max_memory_pages=10))
+        a = gov.admit(4)
+        b = gov.admit(4)
+        gov.begin_wait(a)  # returns a's 4 pages
+        gov.release(a)  # parked release: must NOT subtract again
+        assert gov.stats()["pages_in_use"] == 4  # b's pages intact
+        gov.release(b)
+        assert gov.stats()["pages_in_use"] == 0
+
+    def test_begin_wait_guards_state(self):
+        from repro.errors import StateError
+
+        gov = Governor()
+        handle = gov.admit(2)
+        gov.begin_wait(handle)
+        with pytest.raises(StateError):
+            gov.begin_wait(handle)  # already parked
+        gov.end_wait(handle)
+        gov.release(handle)
+        with pytest.raises(StateError):
+            gov.end_wait(handle)  # not parked any more
+
+    def test_cancel_reaches_parked_queries(self):
+        gov = Governor()
+        handle = gov.admit(2)
+        gov.begin_wait(handle)
+        assert gov.cancel(handle.qid) is True
+        with pytest.raises(QueryCancelled):
+            handle.token.check()
+        gov.release(handle)
+
+    def test_shed_valve_fast_rejects_when_saturated(self):
+        gov = Governor(
+            GovernorConfig(
+                max_concurrent=1, max_queue=8, shed_threshold=2,
+                admission_timeout=5.0,
+            )
+        )
+        hog = gov.admit(2)
+        waiters = []
+
+        def wait_for_slot():
+            try:
+                waiters.append(gov.admit(2))
+            except ReproError:
+                pass
+
+        threads = [threading.Thread(target=wait_for_slot) for _ in range(2)]
+        for t in threads:
+            t.start()
+        deadline_helper = threading.Event()
+        deadline_helper.wait(0.1)  # let both enter the queue
+        assert gov.stats()["waiting"] == 2
+        with pytest.raises(AdmissionRejected) as exc_info:
+            gov.admit(2)
+        assert exc_info.value.reason == "overload"
+        assert gov.stats()["sheds"] == 1
+        gov.release(hog)
+        for t in threads:
+            t.join(timeout=5.0)
+        for handle in waiters:
+            gov.release(handle)
+        assert gov.stats()["pages_in_use"] == 0
 
 
 class TestCancellationToken:
