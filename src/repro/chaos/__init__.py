@@ -30,6 +30,7 @@ from repro.chaos.executor import (
     run_executor_seed,
 )
 from repro.chaos.injector import (
+    RESPLIT_FAULT_KINDS,
     WORKER_FAULT_KINDS,
     CrashSignal,
     FaultInjector,
@@ -69,6 +70,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantReport",
     "InvariantViolation",
+    "RESPLIT_FAULT_KINDS",
     "ScenarioConfig",
     "ScenarioRun",
     "ShadowDatabase",

@@ -41,6 +41,13 @@ from typing import Dict, List, Optional, Tuple
 #: the coordinator must detect and discard).
 WORKER_FAULT_KINDS = ("kill", "hang", "garble")
 
+#: Re-split fault kinds for hybrid hash's adaptive skew handling:
+#: ``abort`` fails the re-split decision before any IO happens, ``midway``
+#: kills it after the R sub-files are partially written (recovery restores
+#: the single bucket file).  Either way the join must fall back to the
+#: static recursion path and produce identical output rows.
+RESPLIT_FAULT_KINDS = ("abort", "midway")
+
 
 # Deliberately NOT a ReproError: a crash signal must never be swallowed by
 # an `except ReproError` recovery path -- only the harness may catch it.
@@ -89,6 +96,9 @@ class FaultPlan:
     #: Worker faults by dispatched-bucket-job sequence index; values are
     #: drawn from :data:`WORKER_FAULT_KINDS`.
     worker_faults: Dict[int, str] = field(default_factory=dict)
+    #: Re-split faults by adaptive-re-split sequence index; values are
+    #: drawn from :data:`RESPLIT_FAULT_KINDS`.
+    resplit_faults: Dict[int, str] = field(default_factory=dict)
 
     def describe(self) -> str:
         parts = ["crash@%s" % self.crash_at_point]
@@ -103,6 +113,13 @@ class FaultPlan:
                 "workers(%s)"
                 % ",".join(
                     "%d:%s" % (i, k) for i, k in sorted(self.worker_faults.items())
+                )
+            )
+        if self.resplit_faults:
+            parts.append(
+                "resplits(%s)"
+                % ",".join(
+                    "%d:%s" % (i, k) for i, k in sorted(self.resplit_faults.items())
                 )
             )
         if self.write_delay_prob:
@@ -140,9 +157,11 @@ class FaultInjector:
         # Executor-seam tallies (see executor_page / worker_fault).
         self.exec_pages = 0
         self.worker_jobs = 0
+        self.resplit_points = 0
         self.queries_cancelled = 0
         self.grants_revoked = 0
         self.worker_faults_injected = 0
+        self.resplit_faults_injected = 0
 
     # -- constructors ------------------------------------------------------------
 
@@ -201,11 +220,20 @@ class FaultInjector:
                 faults[job] = WORKER_FAULT_KINDS[
                     rng.randrange(len(WORKER_FAULT_KINDS))
                 ]
+        # Sampled after every pre-existing draw so adding the re-split
+        # seam did not reshuffle any established seed's schedule.
+        resplits: Dict[int, str] = {}
+        for event in range(max_jobs):
+            if rng.random() < 0.25:
+                resplits[event] = RESPLIT_FAULT_KINDS[
+                    rng.randrange(len(RESPLIT_FAULT_KINDS))
+                ]
         plan = FaultPlan(
             cancel_at_page=cancel,
             revoke_at_page=revoke,
             revoke_to_pages=rng.randrange(2, 8),
             worker_faults=faults,
+            resplit_faults=resplits,
             seed=seed,
         )
         return cls(plan)
@@ -314,6 +342,20 @@ class FaultInjector:
             self.worker_faults_injected += 1
         return kind
 
+    def resplit_fault(self) -> Optional[str]:
+        """The fault (if any) for the next adaptive re-split attempt.
+
+        Returns a :data:`RESPLIT_FAULT_KINDS` member or None.  Attempts
+        are numbered in bucket order within each partition level, which is
+        deterministic per run.
+        """
+        idx = self.resplit_points
+        self.resplit_points += 1
+        kind = self.plan.resplit_faults.get(idx)
+        if kind is not None:
+            self.resplit_faults_injected += 1
+        return kind
+
     # -- torn pages --------------------------------------------------------------
 
     def torn_records(self, log_manager) -> List[object]:
@@ -347,4 +389,10 @@ class FaultInjector:
         )
 
 
-__all__ = ["CrashSignal", "FaultInjector", "FaultPlan", "WORKER_FAULT_KINDS"]
+__all__ = [
+    "CrashSignal",
+    "FaultInjector",
+    "FaultPlan",
+    "RESPLIT_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+]

@@ -60,5 +60,12 @@ class QueryGuard:
         fault = getattr(self.injector, "worker_fault", None)
         return fault() if fault is not None else None
 
+    def resplit_fault(self) -> Optional[str]:
+        """Chaos directive for the next adaptive re-split attempt, if any."""
+        if self.injector is None:
+            return None
+        fault = getattr(self.injector, "resplit_fault", None)
+        return fault() if fault is not None else None
+
 
 __all__ = ["QueryGuard"]

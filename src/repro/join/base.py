@@ -132,6 +132,7 @@ class JoinAlgorithm(abc.ABC):
         counters: Optional[OperationCounters] = None,
         disk: Optional[SimulatedDisk] = None,
         batch: bool = True,
+        columnar: bool = True,
         workers: int = 1,
     ) -> None:
         self.counters = counters if counters is not None else OperationCounters()
@@ -142,6 +143,13 @@ class JoinAlgorithm(abc.ABC):
         #: tests/test_batch_equivalence.py).  ``batch=False`` selects the
         #: historical per-row loops.
         self.batch = batch
+        #: Columnar (vectorized) build/probe/merge kernels inside the batch
+        #: arms: hash tables store row indices into a column staging area
+        #: and matches are group-gathered buffer-to-buffer (see
+        #: :mod:`repro.join.vectorized`).  Results and counters stay
+        #: byte-identical to the row-view batch path; only effective when
+        #: ``batch`` is on.
+        self.columnar = columnar
         #: Worker processes for the partitioned hash joins (GRACE/hybrid).
         #: 1 means serial; >1 offloads pure-CPU bucket work to a fork pool
         #: with deterministic bucket-order assembly, so results and

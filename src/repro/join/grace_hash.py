@@ -26,6 +26,7 @@ from repro.join.parallel import (
     residue_chunk_task,
 )
 from repro.join.partition import partition_relation, read_bucket
+from repro.join.vectorized import join_bucket_columnar
 from repro.storage.relation import Relation, Row
 
 
@@ -154,11 +155,27 @@ class GraceHashJoin(JoinAlgorithm):
                     s_rows = read_bucket(self.disk, s_file)
                     self.disk.delete(r_file)
                     self.disk.delete(s_file)
-                    output.extend_rows(
-                        join_bucket(
-                            r_rows, s_rows, r_index, s_index, fudge, self.counters
+                    if self.columnar:
+                        join_bucket_columnar(
+                            r_rows,
+                            s_rows,
+                            r_index,
+                            s_index,
+                            fudge,
+                            self.counters,
+                            output,
                         )
-                    )
+                    else:
+                        output.extend_rows(
+                            join_bucket(
+                                r_rows,
+                                s_rows,
+                                r_index,
+                                s_index,
+                                fudge,
+                                self.counters,
+                            )
+                        )
                 return
 
             jobs: List[Tuple[List[Row], List[Row], int, int, float]] = []

@@ -13,12 +13,25 @@ share to the resident class, the rest evenly over the B spill buckets --
 the Section 3.3 construction of a partition compatible with ``h`` (see
 :func:`repro.join.partition.hybrid_class`).
 
-Skew handling follows Section 3.3's remedy: "if we err slightly we can
-always apply the hybrid hash join recursively, thereby adding an extra pass
-for the overflow tuples."  When a spilled R-bucket's hash table would
-exceed the memory grant, the bucket pair is re-joined recursively with a
-depth-salted hash, so pathological key distributions degrade gracefully
-instead of overflowing memory.
+Skew handling is two-tiered.  The backstop is Section 3.3's remedy: "if we
+err slightly we can always apply the hybrid hash join recursively, thereby
+adding an extra pass for the overflow tuples" -- an oversized bucket pair
+found in phase 2 is re-joined recursively with a depth-salted hash.  On
+top of that sits the **adaptive re-split** (``adaptive=True``, following
+the dynamic-hybrid-hash literature): phase 1a counts each spill bucket's
+build tuples, and a bucket whose hash table would overflow the grant is
+re-split into sub-buckets *before S is partitioned* -- R's hot bucket is
+read back and re-hashed once (the same work static recursion pays later),
+but S's hot tuples are routed straight to the sub-buckets at one extra
+hash each, instead of being written to the fat bucket, read back, re-hashed
+and re-written by the recursion.  The memory split is adjusted mid-join
+under the Governor grant machinery: the sub-bucket output buffers are
+charged against the live grant, and a constrained grant vetoes the
+re-split (the bucket falls back to static recursion).  The re-split
+decision point is a chaos seam: an injected ``abort`` fails it before any
+IO, an injected ``midway`` fault kills it after partially writing the R
+sub-files (recovery restores the single bucket file); both degrade to the
+static path with identical output rows.
 
 Under the governor the memory grant is **live**: a mid-query revocation
 (:meth:`repro.governor.grant.MemoryGrant.revoke`) can shrink the budget the
@@ -35,21 +48,24 @@ overflow pair is processed exactly like a spill bucket, including the
 recursion check against the *shrunken* capacity -- the degradation ladder
 of docs/ROBUSTNESS.md.
 
-Execution comes in three flavours with identical results and counters: the
-historical tuple-at-a-time loops (``batch=False``), the page-at-a-time
-batch path (default), and the batch path with a worker pool
-(``workers > 1``) where the coordinator keeps all disk IO in serial order
-and workers handle classification and bucket build/probe (see
-:mod:`repro.join.parallel`).  Recursive overflow buckets are always joined
-serially in the coordinator, at their in-order sequence point.  Worker
-failures in phase 2 are absorbed by
-:meth:`~repro.join.base.JoinAlgorithm.run_bucket_jobs` (serial retry,
+Execution comes in four flavours with identical results and counters: the
+historical tuple-at-a-time loops (``batch=False``), the row-view
+page-at-a-time path (``batch=True, columnar=False``), the columnar batch
+path (default; the resident table stores row indices into a
+:class:`~repro.join.vectorized.ColumnStore` and matches are group-gathered
+buffer-to-buffer), and the batch path with a worker pool (``workers > 1``)
+where the coordinator keeps all disk IO in serial order and workers handle
+classification and bucket build/probe (see :mod:`repro.join.parallel`).
+Recursive overflow buckets are always joined serially in the coordinator,
+at their in-order sequence point.  Worker failures in phase 2 are absorbed
+by :meth:`~repro.join.base.JoinAlgorithm.run_bucket_jobs` (serial retry,
 identical rows and counters).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
@@ -64,8 +80,29 @@ from repro.join.partition import (
     hybrid_class,
     partition_fan_out,
     read_bucket,
+    resplit_class,
 )
+from repro.join.vectorized import (
+    ColumnStore,
+    insert_page,
+    join_bucket_columnar,
+    probe_page,
+)
+from repro.operators.columnar import gather_columns
 from repro.storage.relation import Relation, Row
+
+
+class _Resplit:
+    """Routing state for one adaptively re-split spill bucket."""
+
+    __slots__ = ("sub_buckets", "r_files", "s_writer")
+
+    def __init__(
+        self, sub_buckets: int, r_files: List[str], s_writer: SpillWriter
+    ) -> None:
+        self.sub_buckets = sub_buckets
+        self.r_files = r_files
+        self.s_writer = s_writer
 
 
 class HybridHashJoin(JoinAlgorithm):
@@ -77,6 +114,17 @@ class HybridHashJoin(JoinAlgorithm):
     #: deeper than 8 means the partitioning hash has failed entirely.
     MAX_RECURSION = 8
 
+    #: Runtime-adaptive re-split of skew-hot spill buckets between phases
+    #: 1a and 1b (the E24 ablation flips this off for the static baseline).
+    adaptive = True
+
+    #: Tallies of the adaptive path, reset at the start of each execution:
+    #: buckets re-split, re-splits vetoed by the memory grant, re-splits
+    #: killed by an injected chaos fault.
+    resplits = 0
+    resplit_denied = 0
+    resplit_aborts = 0
+
     def _classify(
         self, key: Any, q: float, buckets: int, depth: int = 0
     ) -> int:
@@ -84,6 +132,9 @@ class HybridHashJoin(JoinAlgorithm):
         return hybrid_class(key, q, buckets, depth)
 
     def _execute(self, spec: JoinSpec, output: Relation) -> None:
+        self.resplits = 0
+        self.resplit_denied = 0
+        self.resplit_aborts = 0
         if not self.batch:
             self._execute_level(spec, output, depth=0)
             return
@@ -125,7 +176,11 @@ class HybridHashJoin(JoinAlgorithm):
         return grant.over_budget(used)
 
     def _demote_resident(
-        self, resident: HashIndex, spec: JoinSpec, depth: int
+        self,
+        resident: HashIndex,
+        spec: JoinSpec,
+        depth: int,
+        store: Optional[ColumnStore] = None,
     ) -> Tuple[SpillWriter, SpillWriter]:
         """Dump the live R0 table to a fresh overflow spill pair.
 
@@ -133,7 +188,8 @@ class HybridHashJoin(JoinAlgorithm):
         price of giving the memory back.  The caller replaces ``resident``
         with an empty table and routes all later class-0 tuples to the
         returned writers; phase 2 then joins the pair like any spilled
-        bucket.
+        bucket.  In columnar mode the table stores row indices, so the
+        dumped rows are fetched from ``store`` (same order, same charges).
         """
         base = self.scratch_name(spec, "ovf")
         ovf_r = SpillWriter(
@@ -148,9 +204,195 @@ class HybridHashJoin(JoinAlgorithm):
             spec.s.tuples_per_page,
             self.counters,
         )
-        for _, row in resident.items():
-            ovf_r.write(0, row)
+        for _, value in resident.items():
+            ovf_r.write(0, store.row(value) if store is not None else value)
         return ovf_r, ovf_s
+
+    # -- adaptive re-split --------------------------------------------------------
+
+    def _plan_resplit(
+        self,
+        spec: JoinSpec,
+        depth: int,
+        count: int,
+        key_load: Dict[Any, int],
+        capacity: int,
+    ) -> Optional[int]:
+        """Sub-bucket fan-out for one hot bucket, or None to leave it alone.
+
+        Two deterministic checks, both uncharged bookkeeping over the
+        phase-1a counts: the salted re-hash must actually separate the
+        bucket's keys into sub-buckets that fit the phase-2 capacity (a
+        bucket dominated by one fat key is indivisible -- routing it
+        would reshuffle the same overflow and then recurse anyway), and
+        the IO forecast must favour routing over static recursion.
+        """
+        if count <= capacity or len(key_load) < 2:
+            return None
+        base = max(2, math.ceil(count / capacity))
+        for k in (base, base + 1, 2 * base):
+            loads = [0] * k
+            for key, load in key_load.items():
+                loads[resplit_class(key, k, depth)] += load
+            if max(loads) <= capacity:
+                return k if self._resplit_pays(spec, count, capacity) else None
+        return None
+
+    def _resplit_pays(self, spec: JoinSpec, count: int, capacity: int) -> bool:
+        """Forecast: does routing beat static phase-2 recursion here?
+
+        A static recursion on the fat pair is itself hybrid: it keeps
+        ``q = capacity/count`` of the bucket resident and pays the spill
+        round trip only on the rest.  The re-split instead re-reads and
+        re-writes the whole R bucket now, double-moves the fraction a
+        recursion would have kept resident, and charges every routed S
+        tuple a second hash.  This mirrors the ``resplit`` term of
+        :func:`repro.cost.join_model.hash_pipeline_forecast`; S's bucket
+        share is forecast from the workload-wide S:R tuple ratio (phase
+        1b has not run yet, so it cannot be measured).
+        """
+        p = spec.params
+        q = capacity / count
+        est_s = count * p.s_tuples / max(1, p.r_tuples)
+        r_pages = count / max(1, spec.r.tuples_per_page)
+        s_pages = est_s / max(1, spec.s.tuples_per_page)
+        saved = (1.0 - q) * (est_s * p.move + 2.0 * s_pages * p.io_seq)
+        extra = q * (est_s * p.hash + count * p.move)
+        extra += 2.0 * q * r_pages * p.io_seq
+        return saved > extra
+
+    def _resplit_hot_buckets(
+        self,
+        spec: JoinSpec,
+        r_files: List[str],
+        depth: int,
+        counts: List[int],
+        key_counts: List[Dict[Any, int]],
+    ) -> Dict[int, _Resplit]:
+        """Re-split skew-hot spill buckets between phases 1a and 1b.
+
+        A bucket whose build side exceeds the phase-2 hash-table capacity
+        -- and whose per-key load forecast says splitting pays (see
+        :meth:`_plan_resplit`) -- is read back, re-hashed with an
+        independently salted function, and written out as sub-bucket
+        files; phase 1b then routes its S tuples straight to the
+        sub-buckets.  Decisions are driven purely by the phase-1a counts,
+        so they are identical across the tuple / row-view / columnar /
+        parallel modes.  Charges: the bucket re-read (IO), one hash per
+        re-hashed R tuple, one move per tuple into the sub-bucket buffers
+        plus flush IO -- paid now to save S's fat-bucket round trip.
+        """
+        resplit: Dict[int, _Resplit] = {}
+        if not self.adaptive or depth >= self.MAX_RECURSION:
+            return resplit
+        capacity = self._bucket_capacity(spec)
+        budget = self.effective_memory_pages(spec.memory_pages)
+        guard = self.guard
+        r_key = spec.r_key
+        r_tpp = spec.r.tuples_per_page
+        for b, r_file in enumerate(r_files):
+            sub_buckets = self._plan_resplit(
+                spec, depth, counts[b], key_counts[b], capacity
+            )
+            if sub_buckets is None:
+                continue
+            # Mid-join memory-split adjustment: the sub-bucket output
+            # buffers must fit the *effective* budget alongside the B
+            # buffers already open.  An unrevoked grant sees the planned
+            # budget, so guarded and unguarded runs decide identically;
+            # only a revoked grant vetoes the re-split, and the bucket
+            # falls back to static phase-2 recursion.
+            used = len(r_files) + sub_buckets
+            if guard is not None and guard.grant is not None:
+                guard.grant.charge(used)
+            if used > budget:
+                self.resplit_denied += 1
+                continue
+            fault = guard.resplit_fault() if guard is not None else None
+            if fault == "abort":
+                # Chaos: the decision point fails before any IO; the
+                # bucket stays intact for the static path.
+                self.resplit_aborts += 1
+                continue
+            rows = read_bucket(self.disk, r_file)
+            self.disk.delete(r_file)
+            sub_names = ["%s.sub%d" % (r_file, i) for i in range(sub_buckets)]
+            self.counters.hash_key(len(rows))
+            # The whole bucket is in memory, so group rows by sub-bucket
+            # and rewrite each sub-file with a dedicated single-bucket
+            # writer: every flush is a full consecutive run and stays
+            # *sequential* -- matching the B == 1 flush discount a static
+            # recursion would enjoy, instead of paying random IO.
+            groups: List[List[Row]] = [[] for _ in range(sub_buckets)]
+            for row in rows:
+                groups[resplit_class(r_key(row), sub_buckets, depth)].append(
+                    row
+                )
+            if fault == "midway":
+                # Chaos: the re-split dies after partially writing the R
+                # sub-files.  Recovery deletes the partial subs, rewrites
+                # the bucket as one file, and falls back to static.
+                half = len(rows) // 2
+                written = 0
+                for name, group in zip(sub_names, groups):
+                    take = min(len(group), half - written)
+                    if take <= 0:
+                        break
+                    writer = SpillWriter(
+                        self.disk, [name], r_tpp, self.counters
+                    )
+                    writer.write_many(0, group[:take])
+                    writer.close()
+                    written += take
+                for name in sub_names:
+                    self.disk.delete(name)
+                redo = SpillWriter(self.disk, [r_file], r_tpp, self.counters)
+                redo.write_many(0, rows)
+                redo.close()
+                self.resplit_aborts += 1
+                continue
+            sub_files: List[str] = []
+            for name, group in zip(sub_names, groups):
+                writer = SpillWriter(self.disk, [name], r_tpp, self.counters)
+                writer.write_many(0, group)
+                sub_files.extend(writer.close())
+            s_names = [
+                "%s.d%d.%d.sub%d" % (self.scratch_name(spec, "s"), depth, b, i)
+                for i in range(sub_buckets)
+            ]
+            resplit[b] = _Resplit(
+                sub_buckets,
+                sub_files,
+                SpillWriter(
+                    self.disk, s_names, spec.s.tuples_per_page, self.counters
+                ),
+            )
+            self.resplits += 1
+        return resplit
+
+    def _assemble_pairs(
+        self,
+        r_files: List[str],
+        s_files: List[str],
+        resplit: Dict[int, _Resplit],
+        demoted: bool,
+        ovf_r: Optional[SpillWriter],
+        ovf_s: Optional[SpillWriter],
+    ) -> List[Tuple[str, str]]:
+        """The phase-2 bucket pair list, with re-split buckets expanded."""
+        pairs: List[Tuple[str, str]] = []
+        for b in range(len(r_files)):
+            plan = resplit.get(b)
+            if plan is None:
+                pairs.append((r_files[b], s_files[b]))
+            else:
+                # The bucket's own S file stayed empty (its rows were
+                # routed straight to the sub-buckets in phase 1b).
+                self.disk.delete(s_files[b])
+                pairs.extend(zip(plan.r_files, plan.s_writer.close()))
+        if demoted:
+            pairs.extend(zip(ovf_r.close(), ovf_s.close()))
+        return pairs
 
     # -- tuple-at-a-time path ----------------------------------------------------
 
@@ -169,15 +411,19 @@ class HybridHashJoin(JoinAlgorithm):
         ovf_r: Optional[SpillWriter] = None
         ovf_s: Optional[SpillWriter] = None
 
+        track = self.adaptive and buckets > 0 and depth < self.MAX_RECURSION
+        counts = [0] * buckets
+        key_counts: List[Dict[Any, int]] = [{} for _ in range(buckets)]
+
         # ---- Phase 1a: partition R, building R0's table on the fly. ----
         r_writer = None
         if buckets > 0:
-            r_files = [
+            r_names = [
                 "%s.d%d.%d" % (self.scratch_name(spec, "r"), depth, i)
                 for i in range(buckets)
             ]
             r_writer = SpillWriter(
-                self.disk, r_files, spec.r.tuples_per_page, self.counters
+                self.disk, r_names, spec.r.tuples_per_page, self.counters
             )
         r_tpp = max(1, spec.r.tuples_per_page)
         for i, row in enumerate(spec.r):
@@ -189,27 +435,40 @@ class HybridHashJoin(JoinAlgorithm):
                     ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
                     resident = HashIndex(self.counters, max_load=params.fudge)
                     demoted = True
-            cls = self._classify(r_key(row), q, buckets, depth)
+            k = r_key(row)
+            cls = self._classify(k, q, buckets, depth)
             if cls == 0:
                 if demoted:
                     self.counters.hash_key()
                     ovf_r.write(0, row)
                 else:
                     # insert() charges the hash and the move into the table.
-                    resident.insert(r_key(row), row)
+                    resident.insert(k, row)
             else:
                 self.counters.hash_key()
                 r_writer.write(cls - 1, row)
+                if track:
+                    b = cls - 1
+                    counts[b] += 1
+                    kc = key_counts[b]
+                    kc[k] = kc.get(k, 0) + 1
+
+        r_files = r_writer.close() if r_writer is not None else []
+        resplit = (
+            self._resplit_hot_buckets(spec, r_files, depth, counts, key_counts)
+            if track
+            else {}
+        )
 
         # ---- Phase 1b: partition S, probing R0 on the fly. ----
         s_writer = None
         if buckets > 0:
-            s_files = [
+            s_names = [
                 "%s.d%d.%d" % (self.scratch_name(spec, "s"), depth, i)
                 for i in range(buckets)
             ]
             s_writer = SpillWriter(
-                self.disk, s_files, spec.s.tuples_per_page, self.counters
+                self.disk, s_names, spec.s.tuples_per_page, self.counters
             )
         s_tpp = max(1, spec.s.tuples_per_page)
         for i, row in enumerate(spec.s):
@@ -221,29 +480,39 @@ class HybridHashJoin(JoinAlgorithm):
                     ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
                     resident = HashIndex(self.counters, max_load=params.fudge)
                     demoted = True
-            cls = self._classify(s_key(row), q, buckets, depth)
+            k = s_key(row)
+            cls = self._classify(k, q, buckets, depth)
             if cls == 0:
                 if demoted:
                     self.counters.hash_key()
                     ovf_s.write(0, row)
                 else:
-                    for r_row in resident.probe(s_key(row)):
+                    for r_row in resident.probe(k):
                         self.emit(output, r_row, row)
             else:
-                self.counters.hash_key()
-                s_writer.write(cls - 1, row)
+                plan = resplit.get(cls - 1) if resplit else None
+                if plan is None:
+                    self.counters.hash_key()
+                    s_writer.write(cls - 1, row)
+                else:
+                    # One class hash plus one sub-bucket hash: the hot
+                    # tuple goes straight to its sub-bucket, skipping the
+                    # fat bucket's write/read/re-hash/re-write round trip.
+                    self.counters.hash_key(2)
+                    plan.s_writer.write(
+                        resplit_class(k, plan.sub_buckets, depth), row
+                    )
 
-        r_files = r_writer.close() if r_writer is not None else []
         s_files = s_writer.close() if s_writer is not None else []
-        if demoted:
-            r_files = r_files + ovf_r.close()
-            s_files = s_files + ovf_s.close()
-        if not r_files:
+        pairs = self._assemble_pairs(
+            r_files, s_files, resplit, demoted, ovf_r, ovf_s
+        )
+        if not pairs:
             return
 
         # ---- Phase 2: join the spilled bucket pairs. ----
         bucket_capacity = self._bucket_capacity(spec)
-        for r_file, s_file in zip(r_files, s_files):
+        for r_file, s_file in pairs:
             self.checkpoint()
             r_rows = read_bucket(self.disk, r_file)
             s_rows = read_bucket(self.disk, s_file)
@@ -290,6 +559,14 @@ class HybridHashJoin(JoinAlgorithm):
         demoted = False
         ovf_r: Optional[SpillWriter] = None
         ovf_s: Optional[SpillWriter] = None
+        use_columnar = self.columnar
+        store: Optional[ColumnStore] = (
+            ColumnStore(spec.r) if use_columnar else None
+        )
+
+        track = self.adaptive and buckets > 0 and depth < self.MAX_RECURSION
+        counts = [0] * buckets
+        key_counts: List[Dict[Any, int]] = [{} for _ in range(buckets)]
 
         classify_r: Optional[Callable[[Sequence[Any]], List[int]]] = None
         classify_s: Optional[Callable[[Sequence[Any]], List[int]]] = None
@@ -319,107 +596,228 @@ class HybridHashJoin(JoinAlgorithm):
         # ---- Phase 1a: partition R, building R0's table page by page. ----
         r_writer = None
         if buckets > 0:
-            r_files = [
+            r_names = [
                 "%s.d%d.%d" % (self.scratch_name(spec, "r"), depth, i)
                 for i in range(buckets)
             ]
             r_writer = SpillWriter(
-                self.disk, r_files, spec.r.tuples_per_page, self.counters
+                self.disk, r_names, spec.r.tuples_per_page, self.counters
             )
         for page in spec.r.pages:
             self.checkpoint()
             if not demoted and self._degrade_now(memory, buckets, resident, spec):
-                ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                ovf_r, ovf_s = self._demote_resident(
+                    resident, spec, depth, store
+                )
                 resident = HashIndex(self.counters, max_load=params.fudge)
                 demoted = True
-            rows = page.tuples
-            if not rows:
+            n = len(page)
+            if not n:
                 continue
             keys = page.column(r_ki)
+            if buckets == 0:
+                # Everything is resident (q == 1): no classification and
+                # no spill; the columnar arm indexes the key column and
+                # stages the page's buffers without touching a row tuple.
+                if demoted:
+                    self.counters.hash_key(n)
+                    ovf_r.write_many(0, page.tuples)
+                elif use_columnar:
+                    insert_page(resident, store, keys, page)
+                else:
+                    resident.insert_batch(list(zip(keys, page.tuples)))
+                continue
             classes = (
                 classify_r(keys)
                 if classify_r is not None
                 else [hybrid_class(k, q, buckets, depth) for k in keys]
             )
-            to_insert: List[Tuple[Any, Row]] = []
             pending: List[List[Row]] = [[] for _ in range(buckets)]
             spilled = 0
-            for k, row, cls in zip(keys, rows, classes):
-                if cls == 0:
-                    to_insert.append((k, row))
-                else:
-                    pending[cls - 1].append(row)
-                    spilled += 1
-            if demoted:
-                if to_insert:
-                    self.counters.hash_key(len(to_insert))
-                    ovf_r.write_many(0, [row for _, row in to_insert])
+            if use_columnar and not demoted:
+                rows: Optional[List[Row]] = None
+                res_keys: List[Any] = []
+                res_pos: List[int] = []
+                for i, (k, cls) in enumerate(zip(keys, classes)):
+                    if cls == 0:
+                        res_keys.append(k)
+                        res_pos.append(i)
+                    else:
+                        if rows is None:
+                            rows = page.tuples
+                        b = cls - 1
+                        pending[b].append(rows[i])
+                        spilled += 1
+                        if track:
+                            counts[b] += 1
+                            kc = key_counts[b]
+                            kc[k] = kc.get(k, 0) + 1
+                if res_pos:
+                    base = len(store)
+                    resident.insert_batch(
+                        zip(res_keys, range(base, base + len(res_pos)))
+                    )
+                    store.add_columns(
+                        gather_columns(page.columns, res_pos), len(res_pos)
+                    )
             else:
-                resident.insert_batch(to_insert)
+                page_rows = page.tuples
+                to_insert: List[Tuple[Any, Row]] = []
+                for k, row, cls in zip(keys, page_rows, classes):
+                    if cls == 0:
+                        to_insert.append((k, row))
+                    else:
+                        b = cls - 1
+                        pending[b].append(row)
+                        spilled += 1
+                        if track:
+                            counts[b] += 1
+                            kc = key_counts[b]
+                            kc[k] = kc.get(k, 0) + 1
+                if demoted:
+                    if to_insert:
+                        self.counters.hash_key(len(to_insert))
+                        ovf_r.write_many(0, [row for _, row in to_insert])
+                else:
+                    resident.insert_batch(to_insert)
             if spilled:
                 self.counters.hash_key(spilled)
                 for b, bucket_rows in enumerate(pending):
                     r_writer.write_many(b, bucket_rows)
 
+        r_files = r_writer.close() if r_writer is not None else []
+        resplit = (
+            self._resplit_hot_buckets(spec, r_files, depth, counts, key_counts)
+            if track
+            else {}
+        )
+
         # ---- Phase 1b: partition S, probing R0 page by page. ----
         s_writer = None
         if buckets > 0:
-            s_files = [
+            s_names = [
                 "%s.d%d.%d" % (self.scratch_name(spec, "s"), depth, i)
                 for i in range(buckets)
             ]
             s_writer = SpillWriter(
-                self.disk, s_files, spec.s.tuples_per_page, self.counters
+                self.disk, s_names, spec.s.tuples_per_page, self.counters
             )
         for page in spec.s.pages:
             self.checkpoint()
             if not demoted and self._degrade_now(memory, buckets, resident, spec):
-                ovf_r, ovf_s = self._demote_resident(resident, spec, depth)
+                ovf_r, ovf_s = self._demote_resident(
+                    resident, spec, depth, store
+                )
                 resident = HashIndex(self.counters, max_load=params.fudge)
                 demoted = True
-            rows = page.tuples
-            if not rows:
+            n = len(page)
+            if not n:
                 continue
             keys = page.column(s_ki)
+            if buckets == 0:
+                if demoted:
+                    self.counters.hash_key(n)
+                    ovf_s.write_many(0, page.tuples)
+                elif use_columnar:
+                    probe_page(resident, store, output, keys, page)
+                else:
+                    matched: List[Row] = []
+                    for chain, s_row in zip(
+                        resident.probe_batch(keys), page.tuples
+                    ):
+                        if chain:
+                            matched.extend(r_row + s_row for r_row in chain)
+                    output.extend_rows(matched)
+                continue
             classes = (
                 classify_s(keys)
                 if classify_s is not None
                 else [hybrid_class(k, q, buckets, depth) for k in keys]
             )
-            probe_keys: List[Any] = []
-            probe_rows: List[Row] = []
             pending = [[] for _ in range(buckets)]
             spilled = 0
-            for k, row, cls in zip(keys, rows, classes):
-                if cls == 0:
-                    probe_keys.append(k)
-                    probe_rows.append(row)
-                else:
-                    pending[cls - 1].append(row)
-                    spilled += 1
-            if demoted:
-                if probe_rows:
-                    self.counters.hash_key(len(probe_rows))
-                    ovf_s.write_many(0, probe_rows)
+            routed = 0
+            sub_pending: Optional[Dict[int, List[List[Row]]]] = (
+                {
+                    b: [[] for _ in range(plan.sub_buckets)]
+                    for b, plan in resplit.items()
+                }
+                if resplit
+                else None
+            )
+            if use_columnar and not demoted:
+                rows = None
+                probe_keys: List[Any] = []
+                probe_pos: List[int] = []
+                for i, (k, cls) in enumerate(zip(keys, classes)):
+                    if cls == 0:
+                        probe_keys.append(k)
+                        probe_pos.append(i)
+                    else:
+                        if rows is None:
+                            rows = page.tuples
+                        b = cls - 1
+                        plan = resplit.get(b) if resplit else None
+                        if plan is None:
+                            pending[b].append(rows[i])
+                            spilled += 1
+                        else:
+                            sub_pending[b][
+                                resplit_class(k, plan.sub_buckets, depth)
+                            ].append(rows[i])
+                            routed += 1
+                if probe_pos:
+                    probe_page(
+                        resident, store, output, probe_keys, page, probe_pos
+                    )
             else:
-                matched: List[Row] = []
-                for chain, s_row in zip(
-                    resident.probe_batch(probe_keys), probe_rows
-                ):
-                    if chain:
-                        matched.extend(r_row + s_row for r_row in chain)
-                output.extend_rows(matched)
-            if spilled:
-                self.counters.hash_key(spilled)
+                page_rows = page.tuples
+                probe_keys = []
+                probe_rows: List[Row] = []
+                for k, row, cls in zip(keys, page_rows, classes):
+                    if cls == 0:
+                        probe_keys.append(k)
+                        probe_rows.append(row)
+                    else:
+                        b = cls - 1
+                        plan = resplit.get(b) if resplit else None
+                        if plan is None:
+                            pending[b].append(row)
+                            spilled += 1
+                        else:
+                            sub_pending[b][
+                                resplit_class(k, plan.sub_buckets, depth)
+                            ].append(row)
+                            routed += 1
+                if demoted:
+                    if probe_rows:
+                        self.counters.hash_key(len(probe_rows))
+                        ovf_s.write_many(0, probe_rows)
+                else:
+                    matched = []
+                    for chain, s_row in zip(
+                        resident.probe_batch(probe_keys), probe_rows
+                    ):
+                        if chain:
+                            matched.extend(r_row + s_row for r_row in chain)
+                    output.extend_rows(matched)
+            if spilled or routed:
+                # One class hash per spilled tuple; routed (re-split)
+                # tuples pay one extra sub-bucket hash each.
+                self.counters.hash_key(spilled + 2 * routed)
                 for b, bucket_rows in enumerate(pending):
                     s_writer.write_many(b, bucket_rows)
+                if sub_pending is not None:
+                    for b in sorted(sub_pending):
+                        plan = resplit[b]
+                        for sub, sub_rows in enumerate(sub_pending[b]):
+                            plan.s_writer.write_many(sub, sub_rows)
 
-        r_files = r_writer.close() if r_writer is not None else []
         s_files = s_writer.close() if s_writer is not None else []
-        if demoted:
-            r_files = r_files + ovf_r.close()
-            s_files = s_files + ovf_s.close()
-        if not r_files:
+        pairs = self._assemble_pairs(
+            r_files, s_files, resplit, demoted, ovf_r, ovf_s
+        )
+        if not pairs:
             return
 
         # ---- Phase 2: join the spilled bucket pairs. ----
@@ -432,7 +830,7 @@ class HybridHashJoin(JoinAlgorithm):
         fudge = params.fudge
 
         entries: List[Tuple[str, Any]] = []
-        for r_file, s_file in zip(r_files, s_files):
+        for r_file, s_file in pairs:
             self.checkpoint()
             r_rows = read_bucket(self.disk, r_file)
             s_rows = read_bucket(self.disk, s_file)
@@ -463,11 +861,22 @@ class HybridHashJoin(JoinAlgorithm):
                 continue
 
             if pool is None:
-                output.extend_rows(
-                    join_bucket(
-                        r_rows, s_rows, r_index, s_index, fudge, self.counters
+                if use_columnar:
+                    join_bucket_columnar(
+                        r_rows,
+                        s_rows,
+                        r_index,
+                        s_index,
+                        fudge,
+                        self.counters,
+                        output,
                     )
-                )
+                else:
+                    output.extend_rows(
+                        join_bucket(
+                            r_rows, s_rows, r_index, s_index, fudge, self.counters
+                        )
+                    )
             else:
                 entries.append(("job", (r_rows, s_rows, r_index, s_index, fudge)))
 

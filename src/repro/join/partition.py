@@ -51,6 +51,18 @@ def hybrid_class(key: Any, q: float, buckets: int, depth: int = 0) -> int:
     return 1 + min(buckets - 1, int((u - q) / (1.0 - q) * buckets))
 
 
+#: Salt for re-splitting a hot spill bucket, independent of both the
+#: bucket-level hash and any recursion level's depth-salted hash -- so an
+#: adaptive re-split divides exactly the keys the bucket hash collided,
+#: and a later static recursion on a still-hot sub-bucket divides again.
+_RESPLIT_SALT = 0x9E37
+
+
+def resplit_class(key: Any, sub_buckets: int, depth: int) -> int:
+    """Sub-bucket of ``key`` when a skew-hot spill bucket is re-split."""
+    return partition_hash((_RESPLIT_SALT, depth, key)) % sub_buckets
+
+
 def partition_fan_out(
     r_pages: int, memory_pages: int, fudge: float
 ) -> Tuple[int, float]:
@@ -264,4 +276,5 @@ __all__ = [
     "partition_hash",
     "partition_relation",
     "read_bucket",
+    "resplit_class",
 ]

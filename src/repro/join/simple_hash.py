@@ -16,6 +16,7 @@ from typing import Any, List, Optional, Tuple
 from repro.access.hash_index import HashIndex
 from repro.join.base import JoinAlgorithm, JoinSpec
 from repro.join.partition import partition_hash
+from repro.join.vectorized import ColumnStore, insert_page, probe_page
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
 from repro.errors import StateError
@@ -38,6 +39,12 @@ class SimpleHashJoin(JoinAlgorithm):
         passes = max(
             1, math.ceil(spec.r.page_count * params.fudge / spec.memory_pages)
         )
+        if passes == 1 and self.columnar:
+            # One pass means no passed-over spill: the whole join is one
+            # build + one probe, which the columnar kernels run without
+            # materialising a single row tuple.
+            self._execute_columnar(spec, output)
+            return
         r_key, s_key = spec.r_key, spec.s_key
 
         r_rows: List[Row] = list(spec.r)
@@ -89,6 +96,29 @@ class SimpleHashJoin(JoinAlgorithm):
             self._charge_spill(spec.r, passed_r)
             self._charge_spill(spec.s, passed_s)
             r_rows, s_rows = passed_r, passed_s
+
+    def _execute_columnar(self, spec: JoinSpec, output: Relation) -> None:
+        """Single-pass vectorized arm (see :mod:`repro.join.vectorized`).
+
+        Charge-identical to the one-pass batch arm: the up-front bulk
+        ``hash_key`` per relation (the pass's partition hash), then the
+        hash table's own insert/probe charges -- only the *values* differ
+        (store indices instead of row tuples), which no charge observes.
+        """
+        params = spec.params
+        r_ki, s_ki = spec.r_key_index, spec.s_key_index
+        table = HashIndex(self.counters, max_load=params.fudge)
+        store = ColumnStore(spec.r)
+        self.counters.hash_key(spec.r.cardinality)
+        for page in spec.r.pages:
+            self.checkpoint()
+            if len(page):
+                insert_page(table, store, page.column(r_ki), page)
+        self.counters.hash_key(spec.s.cardinality)
+        for page in spec.s.pages:
+            self.checkpoint()
+            if len(page):
+                probe_page(table, store, output, page.column(s_ki), page)
 
     def _execute_tuple(self, spec: JoinSpec, output: Relation) -> None:
         params = spec.params

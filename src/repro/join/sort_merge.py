@@ -23,6 +23,8 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cost.counters import heap_push_charges
 from repro.join.base import JoinAlgorithm, JoinSpec
+from repro.join.vectorized import ColumnStore
+from repro.operators.columnar import gather_columns
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
@@ -201,7 +203,10 @@ class SortMergeJoin(JoinAlgorithm):
         total_pages = (spec.r.page_count + spec.s.page_count) * spec.params.fudge
         if total_pages <= spec.memory_pages:
             if self.batch:
-                self._execute_in_memory_batch(spec, output)
+                if self.columnar:
+                    self._execute_in_memory_columnar(spec, output)
+                else:
+                    self._execute_in_memory_batch(spec, output)
             else:
                 self._execute_in_memory(spec, output)
             return
@@ -279,6 +284,81 @@ class SortMergeJoin(JoinAlgorithm):
         merged.extend(sorted_rows(spec.s, spec.s_field, 1))
         merged.sort(key=operator.itemgetter(0))
         self._merge_join_batch(merged, output)
+
+    def _execute_in_memory_columnar(
+        self, spec: JoinSpec, output: Relation
+    ) -> None:
+        """Vectorized in-memory variant: sort row *indices*, gather matches.
+
+        Identical sort keys, stability, and charges to the row-view batch
+        arm -- the triples carry a global row index into a
+        :class:`~repro.join.vectorized.ColumnStore` instead of the row
+        tuple, and the merge loop group-gathers survivor columns straight
+        into ``Relation.extend_columns``.
+        """
+
+        def sorted_entries(
+            relation: Relation, field: str, source: int
+        ) -> Tuple[ColumnStore, List[Tuple[Any, int, int]]]:
+            ki = relation.schema.index_of(field)
+            store = ColumnStore(relation)
+            items: List[Tuple[Any, int, int]] = []
+            base = 0
+            for page in relation.pages:
+                n = len(page)
+                if not n:
+                    continue
+                items.extend(
+                    zip(
+                        page.column(ki),
+                        itertools.repeat(source),
+                        range(base, base + n),
+                    )
+                )
+                store.add_page(page)
+                base += n
+            charges = heap_push_charges(len(items))
+            self.counters.compare(charges)
+            self.counters.swap_tuples(charges)
+            items.sort(key=operator.itemgetter(0))
+            return store, items
+
+        r_store, merged = sorted_entries(spec.r, spec.r_field, 0)
+        s_store, s_items = sorted_entries(spec.s, spec.s_field, 1)
+        merged.extend(s_items)
+        merged.sort(key=operator.itemgetter(0))
+        self._merge_join_columnar(merged, r_store, s_store, output)
+
+    def _merge_join_columnar(
+        self,
+        merged: Sequence[Tuple[Any, int, int]],
+        r_store: ColumnStore,
+        s_store: ColumnStore,
+        output: Relation,
+    ) -> None:
+        """Group the sorted index stream and emit matches buffer-to-buffer."""
+        self.checkpoint()
+        self.counters.compare(len(merged))  # one merge comparison per tuple
+        build_idx: List[int] = []
+        probe_idx: List[int] = []
+        i, n = 0, len(merged)
+        while i < n:
+            k = merged[i][0]
+            r_group: List[int] = []
+            s_group: List[int] = []
+            j = i
+            while j < n and merged[j][0] == k:
+                (r_group if merged[j][1] == 0 else s_group).append(merged[j][2])
+                j += 1
+            if r_group and s_group:
+                for r_i in r_group:
+                    build_idx.extend(itertools.repeat(r_i, len(s_group)))
+                    probe_idx.extend(s_group)
+            i = j
+        if build_idx:
+            out_cols = gather_columns(r_store.columns, build_idx)
+            out_cols.extend(gather_columns(s_store.columns, probe_idx))
+            output.extend_columns(out_cols, len(build_idx))
 
     def _merge_join(
         self, stream: Iterator[Tuple[Any, int, Row]], output: Relation

@@ -161,6 +161,7 @@ class LintConfig:
             "charge_page_moves": ("move_tuple",),
             "charge_page_hashes": ("hash_key",),
             "charge_page_group": ("hash_key", "compare"),
+            "charge_page_fetch": ("compare", "move_tuple"),
         }
     )
     #: Classes whose I/O-performing methods must carry a chaos seam,

@@ -14,10 +14,11 @@ totals stay byte-identical across all three execution modes.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, List, Sequence, Tuple
 
 from repro.cost.counters import OperationCounters
-from repro.storage.codecs import compress_column
+from repro.storage.codecs import Column, compress_column, np, packed_view
 from repro.storage.page import Page
 from repro.storage.relation import Relation
 
@@ -44,6 +45,12 @@ def charge_page_group(counters: OperationCounters, n: int) -> None:
     """One hash plus one group-entry comparison per tuple of a page."""
     counters.hash_key(n)
     counters.compare(n)
+
+
+def charge_page_fetch(counters: OperationCounters, n: int) -> None:
+    """``n`` TID fetches by an index scan: one compare + one move each."""
+    counters.compare(n)
+    counters.move_tuple(n)
 
 
 # -- columnar kernels ----------------------------------------------------------
@@ -80,11 +87,41 @@ def append_selected(out: Relation, page: Page, mask: Sequence[bool]) -> int:
     return selected
 
 
+def gather_columns(
+    columns: Sequence[Column], indices: Sequence[int]
+) -> List[Column]:
+    """Take the rows at ``indices`` out of ``columns``, column-by-column.
+
+    The join kernels' group-gather: ``indices`` may repeat and need not be
+    sorted (one build row matches many probe rows), and the output columns
+    preserve packedness -- a packed buffer gathers through a vectorised
+    take when numpy is around, one C-level ``map`` otherwise.  Gathering
+    is uncharged, exactly like the row paths' tuple concatenation.
+    """
+    out: List[Column] = []
+    idx = None
+    for col in columns:
+        view = packed_view(col)
+        if view is not None:
+            if idx is None:
+                idx = np.fromiter(indices, dtype=np.intp, count=len(indices))
+            taken = array(col.typecode)
+            taken.frombytes(view[idx].tobytes())
+            out.append(taken)
+        elif type(col) is array:
+            out.append(array(col.typecode, map(col.__getitem__, indices)))
+        else:
+            out.append(list(map(col.__getitem__, indices)))
+    return out
+
+
 __all__ = [
     "append_selected",
     "charge_page_compares",
+    "charge_page_fetch",
     "charge_page_group",
     "charge_page_hashes",
     "charge_page_moves",
+    "gather_columns",
     "page_keys",
 ]

@@ -15,7 +15,13 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.access.interface import Index
 from repro.cost.counters import OperationCounters
-from repro.operators.columnar import append_selected, charge_page_compares
+from repro.operators.columnar import (
+    append_selected,
+    charge_page_compares,
+    charge_page_fetch,
+    charge_page_moves,
+    gather_columns,
+)
 from repro.storage import codecs
 from repro.storage.page import Page
 from repro.storage.relation import Relation, Row
@@ -372,6 +378,47 @@ def select(
     return out
 
 
+def _gather_tid_runs(
+    relation: Relation,
+    out: Relation,
+    tids: Iterable[Tuple[int, int]],
+    counters: OperationCounters,
+    equality: bool,
+) -> None:
+    """Materialise an index scan's TIDs buffer-to-buffer.
+
+    ``tids`` arrive in index order; consecutive TIDs on the same page form
+    a run that is charged in bulk (one compare plus one move per TID for
+    range scans, one move for equality -- the same totals as the per-TID
+    fetch loop) and gathered column-to-column through
+    :meth:`~repro.storage.relation.Relation.extend_columns`, so no row
+    tuple is ever built for the qualifying slice.
+    """
+    pages = relation.pages
+    run_page = -1
+    run_slots: List[int] = []
+
+    def flush() -> None:
+        if equality:
+            charge_page_moves(counters, len(run_slots))
+        else:
+            charge_page_fetch(counters, len(run_slots))
+        page = pages[run_page]
+        out.extend_columns(
+            gather_columns(page.columns, run_slots), len(run_slots)
+        )
+
+    for page_no, slot in tids:
+        if page_no != run_page:
+            if run_slots:
+                flush()
+                run_slots = []
+            run_page = page_no
+        run_slots.append(slot)
+    if run_slots:
+        flush()
+
+
 def select_via_index(
     relation: Relation,
     index: Index,
@@ -379,6 +426,7 @@ def select_via_index(
     counters: Optional[OperationCounters] = None,
     output_name: Optional[str] = None,
     token: Optional[Any] = None,
+    columnar: bool = False,
 ) -> Relation:
     """Index-assisted selection for equality, range, and prefix predicates.
 
@@ -388,6 +436,12 @@ def select_via_index(
     ordered.  This is the paper's Section 2 access path -- both the
     ``emp.name = "Jones"`` and the ``emp.name = "J*"`` queries go through
     here.
+
+    ``columnar=True`` keeps the probe itself unchanged but materialises
+    the qualifying TIDs as a column feeding ``Relation.extend_columns``
+    directly (see :func:`_gather_tid_runs`) instead of fetching row tuples
+    one TID at a time.  Output rows, counter totals, and the cadence of
+    ``token`` checks are identical either way.
     """
     counters = counters if counters is not None else OperationCounters()
     out = Relation(
@@ -403,6 +457,16 @@ def select_via_index(
                 % predicate.column
             )
         low, high = predicate.range_bounds
+        if columnar:
+
+            def prefix_tids() -> Iterable[Tuple[int, int]]:
+                for i, (_key, tid) in enumerate(index.range_scan(low, high)):
+                    if token is not None and i % tpp == 0:
+                        token.check()
+                    yield tid
+
+            _gather_tid_runs(relation, out, prefix_tids(), counters, False)
+            return out
         for i, (_key, tid) in enumerate(index.range_scan(low, high)):
             if token is not None and i % tpp == 0:
                 token.check()
@@ -411,6 +475,16 @@ def select_via_index(
             out.insert_unchecked(relation.fetch(tid))
         return out
     if predicate.is_equality:
+        if columnar:
+
+            def equality_tids() -> Iterable[Tuple[int, int]]:
+                for i, tid in enumerate(index.search(predicate.value)):
+                    if token is not None and i % tpp == 0:
+                        token.check()
+                    yield tid
+
+            _gather_tid_runs(relation, out, equality_tids(), counters, True)
+            return out
         for i, tid in enumerate(index.search(predicate.value)):
             if token is not None and i % tpp == 0:
                 token.check()
@@ -429,6 +503,21 @@ def select_via_index(
         high = predicate.value
     else:
         raise PlannerError("operator %r cannot use an index" % predicate.op)
+    if columnar:
+
+        def range_tids() -> Iterable[Tuple[int, int]]:
+            for i, (key, tid) in enumerate(index.range_scan(low, high)):
+                if token is not None and i % tpp == 0:
+                    token.check()
+                # Open endpoints: drop the boundary key itself.
+                if predicate.op == ">" and key == predicate.value:
+                    continue
+                if predicate.op == "<" and key == predicate.value:
+                    continue
+                yield tid
+
+        _gather_tid_runs(relation, out, range_tids(), counters, False)
+        return out
     for i, (key, tid) in enumerate(index.range_scan(low, high)):
         if token is not None and i % tpp == 0:
             token.check()

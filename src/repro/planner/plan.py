@@ -248,6 +248,7 @@ class IndexScanNode(PlanNode):
             self.predicate,
             ctx.counters,
             token=ctx.token,
+            columnar=ctx.batch and ctx.columnar,
         )
 
     def estimated_cost(self, ctx: PlanContext) -> float:
@@ -340,6 +341,11 @@ class JoinNode(PlanNode):
             self.right.fingerprint(ctx),
             self.left_column,
             self.right_column,
+            # Statistics epochs of every base table under this join: the
+            # order and algorithm were chosen from those statistics, so a
+            # re-analyze must make the cached subtree unaddressable (the
+            # access-path epoch plays the same role for scans).
+            tuple(ctx.catalog.stats_epoch(t) for t in self.tables()),
         )
 
     def _run(self, ctx: PlanContext) -> Relation:
@@ -349,6 +355,7 @@ class JoinNode(PlanNode):
             counters=ctx.counters,
             disk=ctx.disk,
             batch=ctx.batch,
+            columnar=ctx.columnar,
             workers=ctx.join_workers,
         )
         if ctx.guard is not None:

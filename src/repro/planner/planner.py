@@ -40,7 +40,7 @@ from repro.planner.plan import (
 )
 from repro.planner.query import JoinClause, Query
 from repro.planner.selectivity import estimate_selectivity, join_selectivity
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, ColumnStats
 
 
 @dataclass
@@ -77,15 +77,22 @@ class _SubPlan:
     """A planned subtree plus the bookkeeping the greedy search needs."""
 
     def __init__(
-        self, node: PlanNode, tables: Set[str], distinct: Dict[str, int]
+        self, node: PlanNode, tables: Set[str], distinct: Dict[str, ColumnStats]
     ) -> None:
         self.node = node
         self.tables = tables
-        #: column name -> estimated distinct values (capped by cardinality).
+        #: column name -> the column's analyzed statistics.
         self.distinct = distinct
 
     def distinct_of(self, column: str) -> int:
-        d = self.distinct.get(column, 0)
+        col = self.distinct.get(column)
+        d = col.distinct if col is not None else 0
+        if col is not None and col.histogram is not None and d > 0:
+            # Measured (histogram-backed) distinct counts are trusted
+            # as-is; the min() damping below exists for the guessy
+            # no-histogram estimates, and applying it here would undo the
+            # point of analyzing with histograms on skewed columns.
+            return max(1, d)
         return max(1, min(d if d else 10, int(self.node.estimated_rows) or 1))
 
 
@@ -163,7 +170,7 @@ class Planner:
                 best = candidate
 
         distinct = {
-            name: stats.column(name).distinct
+            name: stats.column(name)
             for name in self.catalog.relation(table).schema.names
         }
         return _SubPlan(best, {table}, distinct)
@@ -200,19 +207,23 @@ class Planner:
             return next(iter(remaining.values()))
 
         # Seed with the most selective (smallest) access path -- "pushed
-        # towards the bottom of the query tree".
-        seed = min(remaining, key=lambda t: remaining[t].node.estimated_rows)
+        # towards the bottom of the query tree".  Ties break on the table
+        # name so the chosen plan is invariant to the order tables were
+        # listed in the query (dict order would otherwise leak through).
+        seed = min(
+            remaining, key=lambda t: (remaining[t].node.estimated_rows, t)
+        )
         current = remaining.pop(seed)
 
         while remaining:
             best_choice: Optional[Tuple[float, str, JoinClause]] = None
-            for table, sub in remaining.items():
+            for table, sub in sorted(remaining.items()):
                 clauses = query.joins_between(sorted(current.tables), table)
                 if not clauses:
                     continue
                 clause = clauses[0]
                 rows = self._join_rows(current, sub, clause)
-                if best_choice is None or rows < best_choice[0]:
+                if best_choice is None or (rows, table) < best_choice[:2]:
                     best_choice = (rows, table, clause)
             if best_choice is None:
                 raise UnplannableQueryError(

@@ -9,10 +9,10 @@ when statistics are missing.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.operators.selection import And, Comparison, Not, Or, Predicate, Prefix
-from repro.storage.catalog import RelationStats
+from repro.storage.catalog import ColumnStats, RelationStats
 
 #: Fallbacks from the Selinger paper for un-analyzable predicates.
 DEFAULT_EQUALITY_SELECTIVITY = 0.1
@@ -80,11 +80,33 @@ def _prefix_selectivity(pred: Prefix, stats: RelationStats) -> float:
     return max(1e-4, min(1.0, 20.0 ** -len(pred.prefix) * 4.0))
 
 
+def _measured_distinct(d: Union[int, ColumnStats]) -> int:
+    """Distinct count behind a join-selectivity argument.
+
+    A :class:`ColumnStats` carries the measured count from ``analyze``;
+    when a histogram was built the measurement is exact over the analyzed
+    sample and is used as-is.  Plain ints pass through unchanged (the
+    historical calling convention).
+    """
+    if isinstance(d, ColumnStats):
+        return d.distinct
+    return int(d)
+
+
 def join_selectivity(
-    left_distinct: int, right_distinct: int
+    left_distinct: Union[int, ColumnStats],
+    right_distinct: Union[int, ColumnStats],
 ) -> float:
-    """Equijoin selectivity ``1 / max(d_left, d_right)`` [SELI79]."""
-    denom = max(left_distinct, right_distinct, 1)
+    """Equijoin selectivity ``1 / max(d_left, d_right)`` [SELI79].
+
+    Either argument may be a measured :class:`ColumnStats` (preferred --
+    the planner passes the analyzed column when statistics exist) or a
+    bare distinct count; missing statistics (``distinct == 0``) fall back
+    to the historical denominator floor of 1.
+    """
+    denom = max(
+        _measured_distinct(left_distinct), _measured_distinct(right_distinct), 1
+    )
     return 1.0 / denom
 
 

@@ -76,6 +76,10 @@ class Catalog:
         #: subplans become unaddressable when the set of available access
         #: paths changes, not just when the data does.
         self._access_epochs: Dict[str, int] = {}
+        #: Per-relation statistics epoch, bumped by every ``analyze``.
+        #: Join fingerprints embed it so a cached join order planned
+        #: against stale histograms cannot be served after a refresh.
+        self._stats_epochs: Dict[str, int] = {}
 
     # -- relations ---------------------------------------------------------------
 
@@ -102,6 +106,7 @@ class Catalog:
         del self._relations[name]
         self._stats.pop(name, None)
         self._access_epochs.pop(name, None)
+        self._stats_epochs.pop(name, None)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
 
@@ -183,6 +188,7 @@ class Catalog:
             columns=columns,
         )
         self._stats[name] = stats
+        self._stats_epochs[name] = self._stats_epochs.get(name, 0) + 1
         return stats
 
     def stats(self, name: str) -> RelationStats:
@@ -190,6 +196,15 @@ class Catalog:
         if name not in self._stats:
             return self.analyze(name)
         return self._stats[name]
+
+    def stats_epoch(self, relation_name: str) -> int:
+        """Monotonic counter of ``analyze`` runs on a relation.
+
+        Embedded in join fingerprints so the plan-reuse cache cannot keep
+        serving a join subtree whose order and algorithm were chosen
+        against statistics that have since been refreshed.
+        """
+        return self._stats_epochs.get(relation_name, 0)
 
     def __repr__(self) -> str:
         return "Catalog(%d relations, %d indexes)" % (

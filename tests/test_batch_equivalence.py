@@ -67,8 +67,8 @@ def seeded_pairs(seed, n, key_range):
 
 
 #: tuple-at-a-time, row-view batch, and columnar batch execution.  The
-#: set operators and join algorithms only distinguish the first two
-#: (their batch loops consume the cached row views either way).
+#: set operators only distinguish the first two (their batch loops
+#: consume the cached row views either way).
 MODES = (dict(batch=False), dict(batch=True, columnar=False), dict(batch=True))
 ROW_MODES = (dict(batch=False), dict(batch=True))
 
@@ -352,7 +352,7 @@ class TestJoinEquivalence:
             return sorted(result.relation), result.counters.as_dict()
 
         try:
-            runs = run_modes(run, modes=ROW_MODES)
+            runs = run_modes(run)
         except ValueError:
             pytest.skip("algorithm assumptions do not hold at this grant")
         assert_equivalent(runs, ordered=False)
