@@ -27,6 +27,7 @@ under the governor or the lock table.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -76,20 +77,42 @@ class ReadWriteLock:
 
     # -- write side --------------------------------------------------------
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Take the write side; returns True once exclusive.
+
+        With a ``timeout`` (seconds), gives up and returns False if the
+        readers have not drained in time -- the waiting-writer claim is
+        withdrawn, so parked readers wake up and proceed (a timed-out
+        schema change must not leave the lock wedged against reads).
+        """
         me = threading.get_ident()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._mu:
             if self._writer == me:
                 self._writer_depth += 1
-                return
+                return True
             self._writers_waiting += 1
             try:
                 while self._writer is not None or self._readers:
-                    self._turnstile.wait()
+                    if deadline is None:
+                        self._turnstile.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._turnstile.wait(
+                        remaining
+                    ):
+                        return False
             finally:
                 self._writers_waiting -= 1
+                if self._writers_waiting == 0:
+                    # Whether we got the lock or timed out, readers
+                    # blocked only by waiting-writer preference can run.
+                    self._turnstile.notify_all()
             self._writer = me
             self._writer_depth = 1
+            return True
 
     def release_write(self) -> None:
         me = threading.get_ident()

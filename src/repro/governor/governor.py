@@ -162,13 +162,15 @@ class Governor:
         """Route every token checkpoint through the fault injector's
         executor seam, so seeded plans can cancel queries and revoke
         grants at deterministic page boundaries."""
-        self._injector = injector
+        with self._lock:
+            self._injector = injector
         return self
 
     def register_shrinkable(self, consumer: Any) -> None:
         """Register a cache with ``shrink_to(n)`` for pressure eviction."""
-        if consumer is not None and consumer not in self._shrinkables:
-            self._shrinkables.append(consumer)
+        with self._lock:
+            if consumer is not None and consumer not in self._shrinkables:
+                self._shrinkables.append(consumer)
 
     # -- admission ---------------------------------------------------------------
 

@@ -341,21 +341,28 @@ class HybridHashJoin(JoinAlgorithm):
                     writer = SpillWriter(
                         self.disk, [name], r_tpp, self.counters
                     )
-                    writer.write_many(0, group[:take])
-                    writer.close()
+                    try:
+                        writer.write_many(0, group[:take])
+                    finally:
+                        writer.close()
                     written += take
                 for name in sub_names:
                     self.disk.delete(name)
                 redo = SpillWriter(self.disk, [r_file], r_tpp, self.counters)
-                redo.write_many(0, rows)
-                redo.close()
+                try:
+                    redo.write_many(0, rows)
+                finally:
+                    redo.close()
                 self.resplit_aborts += 1
                 continue
             sub_files: List[str] = []
             for name, group in zip(sub_names, groups):
                 writer = SpillWriter(self.disk, [name], r_tpp, self.counters)
-                writer.write_many(0, group)
-                sub_files.extend(writer.close())
+                try:
+                    writer.write_many(0, group)
+                finally:
+                    closed = writer.close()
+                sub_files.extend(closed)
             s_names = [
                 "%s.d%d.%d.sub%d" % (self.scratch_name(spec, "s"), depth, b, i)
                 for i in range(sub_buckets)

@@ -9,12 +9,16 @@ append the class to :data:`ALL_CHECKERS`.
 
 from __future__ import annotations
 
+from repro.lint.checkers.blocking_lock import BlockingUnderLockChecker
 from repro.lint.checkers.chaos_seams import ChaosSeamChecker
 from repro.lint.checkers.counter_discipline import CounterDisciplineChecker
 from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.error_taxonomy import ErrorTaxonomyChecker
 from repro.lint.checkers.lock_order import LockOrderChecker
 from repro.lint.checkers.public_api import PublicApiChecker
+from repro.lint.checkers.resource_lifecycle import ResourceLifecycleChecker
+from repro.lint.checkers.rwlock_discipline import RwlockDisciplineChecker
+from repro.lint.checkers.shared_write import UnlockedSharedWriteChecker
 
 #: Registration order is also report order for --list-rules.
 ALL_CHECKERS = [
@@ -24,14 +28,22 @@ ALL_CHECKERS = [
     ChaosSeamChecker,
     LockOrderChecker,
     PublicApiChecker,
+    BlockingUnderLockChecker,
+    UnlockedSharedWriteChecker,
+    RwlockDisciplineChecker,
+    ResourceLifecycleChecker,
 ]
 
 __all__ = [
     "ALL_CHECKERS",
+    "BlockingUnderLockChecker",
     "ChaosSeamChecker",
     "CounterDisciplineChecker",
     "DeterminismChecker",
     "ErrorTaxonomyChecker",
     "LockOrderChecker",
     "PublicApiChecker",
+    "ResourceLifecycleChecker",
+    "RwlockDisciplineChecker",
+    "UnlockedSharedWriteChecker",
 ]

@@ -42,6 +42,37 @@ class ChaosSeamChecker(Checker):
                 and node.name in config.seam_classes
             ):
                 yield from self._check_class(module, node, config)
+        yield from self._check_inventory(module, config)
+
+    def _check_inventory(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterable[Finding]:
+        """The required-seam inventory: modules listed in
+        ``seam_inventory`` must keep defining (or calling) each named
+        fault point.  Renaming or dropping one shrinks the sweep space
+        every seeded chaos schedule explores, so it fails the build
+        here instead of silently passing a weaker sweep."""
+        required = config.seam_inventory.get(module.module)
+        if not required or not module.tree.body:
+            return
+        present: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                present.add(node.name)
+            elif isinstance(node, ast.Attribute):
+                present.add(node.attr)
+            elif isinstance(node, ast.Name):
+                present.add(node.id)
+        for name in required:
+            if name not in present:
+                yield finding(
+                    module,
+                    RULE,
+                    module.tree.body[0],
+                    "module %s must define or reference the chaos seam "
+                    "%r (required-seam inventory; see docs/LINTING.md)"
+                    % (module.module, name),
+                )
 
     def _check_class(
         self, module: SourceModule, cls: ast.ClassDef, config: LintConfig

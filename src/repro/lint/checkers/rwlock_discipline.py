@@ -1,0 +1,88 @@
+"""Read-write lock discipline checker.
+
+The catalog :class:`~repro.core.rwlock.ReadWriteLock` (PR 8) lets
+read-only SQL run concurrently precisely because readers promise not
+to mutate.  A method that writes ``self.<attr>`` while holding only
+the **read side** of its class's rwlock breaks that promise: the write
+races every concurrent reader, and the writer-preference logic never
+sees it.  This rule flags any self-attribute mutation whose held-lock
+context (local plus must-entry, via :mod:`repro.lint.ipa`) contains a
+read-side ref of the class's own rwlock and no write-side or mutex
+guard of the same class.
+
+Holding the write side reentrantly (the rwlock allows
+read-while-holding-write) or a separate class mutex alongside the read
+side is fine -- the mutation is then serialised by that stronger lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lint.engine import (
+    Checker,
+    Finding,
+    LintConfig,
+    SourceModule,
+)
+from repro.lint.checkers.common import finding, in_scope
+from repro.lint.ipa import RWLOCK, analyze_project
+
+RULE = "rwlock-discipline"
+
+
+class RwlockDisciplineChecker(Checker):
+    rules = {
+        RULE: (
+            "state guarded by a ReadWriteLock must not be mutated "
+            "while only the read side is held"
+        )
+    }
+
+    def check_project(
+        self, modules: Sequence[SourceModule], config: LintConfig
+    ) -> Iterable[Finding]:
+        analysis = analyze_project(modules)
+        for info in analysis.classes:
+            if RWLOCK not in info.kinds.values():
+                continue
+            if not in_scope(info.module, config.concurrency_prefixes):
+                continue
+            for mname in info.methods:
+                if mname == "__init__":
+                    continue
+                qual = "%s.%s.%s" % (info.module.module, info.name, mname)
+                summary = analysis.summaries.get(qual)
+                if summary is None or summary.info.cls is not info:
+                    continue
+                entry = analysis.must_entry.get(qual, frozenset())
+                for write in summary.writes:
+                    total = write.held | entry
+                    read_only = [
+                        lock
+                        for lock in total
+                        if lock.cls == info.name and lock.side == "read"
+                    ]
+                    stronger = any(
+                        lock.cls == info.name and lock.side != "read"
+                        for lock in total
+                    )
+                    if read_only and not stronger:
+                        yield finding(
+                            info.module,
+                            RULE,
+                            write.node,
+                            "%s.%s is mutated while holding only the "
+                            "read side of %s (%s)"
+                            % (
+                                info.name,
+                                write.attr,
+                                sorted(
+                                    ref.canonical() for ref in read_only
+                                )[0],
+                                qual,
+                            ),
+                        )
+
+
+__all__ = ["RwlockDisciplineChecker", "RULE"]

@@ -73,7 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--lock-graph",
         action="store_true",
         help="print the statically extracted lock-acquisition graph and "
-        "exit",
+        "exit (JSON with --format json; see also --runtime-graph)",
+    )
+    parser.add_argument(
+        "--runtime-graph",
+        type=Path,
+        metavar="FILE",
+        help="with --lock-graph: merge the runtime-observed edge set "
+        "exported by the test suite (REPRO_LOCK_GRAPH_OUT) and fail if "
+        "any runtime edge is missing from the static graph",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse source files with N worker threads (default: 1)",
     )
     return parser
 
@@ -88,20 +103,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.lock_graph:
-        from repro.lint.checkers.lock_order import lock_graph_report
-
-        modules, _ = collect_modules(args.paths)
-        for lock, after in lock_graph_report(modules).items():
-            print(
-                "%s -> %s" % (lock, ", ".join(after) if after else "(leaf)")
-            )
-        return 0
+        return _lock_graph(args)
 
     rules = None
     if args.rules:
         rules = {r.strip() for r in args.rules.split(",") if r.strip()}
 
-    findings = run_lint(paths=args.paths, rules=rules)
+    findings = run_lint(paths=args.paths, rules=rules, jobs=args.jobs)
 
     if args.write_baseline:
         write_baseline(args.write_baseline, findings)
@@ -126,6 +134,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     failing = {ERROR, WARNING} if args.strict else {ERROR}
     return 1 if any(f.severity in failing for f in findings) else 0
+
+
+def _lock_graph(args: argparse.Namespace) -> int:
+    """--lock-graph: report the static graph, optionally merged and
+    diffed against a runtime-observed edge set (the CI artifact)."""
+    import json
+
+    from repro.lint.checkers.lock_order import lock_graph_report
+    from repro.lint.ipa import analyze_project
+    from repro.lint.runtime import (
+        canonical_lock_name,
+        runtime_edges_missing_statically,
+    )
+
+    modules, _ = collect_modules(args.paths, jobs=args.jobs)
+    static_edges = analyze_project(modules).lock_edges()
+    runtime_edges = set()
+    if args.runtime_graph:
+        with open(args.runtime_graph, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        runtime_edges = {tuple(edge) for edge in payload.get("edges", [])}
+    missing = runtime_edges_missing_statically(static_edges, runtime_edges)
+
+    if args.format == "json":
+        merged = set(static_edges)
+        merged.update(
+            (canonical_lock_name(a), canonical_lock_name(b))
+            for a, b in runtime_edges
+            if a.startswith("repro.") and b.startswith("repro.")
+        )
+        merged = {(a, b) for a, b in merged if a != b}
+        print(
+            json.dumps(
+                {
+                    "schema_version": 2,
+                    "kind": "lock-graph",
+                    "static_edges": sorted(list(e) for e in static_edges),
+                    "merged_edges": sorted(list(e) for e in merged),
+                    "runtime_only_edges": sorted(list(e) for e in missing),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for lock, after in lock_graph_report(modules).items():
+            print(
+                "%s -> %s" % (lock, ", ".join(after) if after else "(leaf)")
+            )
+        for held, acquired in missing:
+            print(
+                "RUNTIME-ONLY %s -> %s (not predicted statically)"
+                % (held, acquired)
+            )
+    if missing:
+        print(
+            "error: %d runtime lock edge(s) missing from the static "
+            "graph" % len(missing),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 __all__ = ["build_parser", "main"]

@@ -172,6 +172,9 @@ class LintConfig:
             "StableMemory": ("on_append", "fault_injector"),
             "BufferPool": ("fault_injector",),
             "Checkpointer": ("fault_injector",),
+            # The bank's group-commit flush must observe the crash flag
+            # so chaos-severed stores stop writing mid-flush.
+            "BankStore": ("_crashed",),
         }
     )
     #: Name segments that mark a method as I/O-performing.
@@ -196,6 +199,68 @@ class LintConfig:
     )
     #: Module names exempt from the public-api __all__ requirement.
     no_all_ok: Tuple[str, ...] = ("__main__", "conftest")
+    #: Modules whose objects are reachable from multiple thread entry
+    #: points (server worker pool, group-commit flusher, join phase-2
+    #: coordination) -- the scope of the interprocedural concurrency
+    #: rules (blocking-under-lock, unlocked-shared-write,
+    #: rwlock-discipline, resource-lifecycle).
+    concurrency_prefixes: Tuple[str, ...] = (
+        "repro.core",
+        "repro.cost",
+        "repro.governor",
+        "repro.join",
+        "repro.planner",
+        "repro.server",
+    )
+    #: Constructors whose values are safe to mutate without a lock
+    #: (per-thread structures: each thread touches only its own shard).
+    threadsafe_factories: Tuple[str, ...] = (
+        "ShardedOperationCounters",
+        "local",
+        "threading.local",
+    )
+    #: Resource-acquiring method calls (``h = gov.admit(...)``) mapped to
+    #: the release-call names that must reach every exit path.
+    resource_acquires: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "admit": ("release",),
+        }
+    )
+    #: Resource-constructing calls (``w = SpillWriter(...)``) mapped to
+    #: their close methods.
+    resource_factories: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "SpillWriter": ("close",),
+        }
+    )
+    #: State-transition calls that re-open a resource obligation on an
+    #: existing handle (``gov.begin_wait(h)`` parks h's slot; every path
+    #: must then reach ``end_wait(h)`` or ``release(h)``).
+    resource_transitions: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "begin_wait": ("end_wait", "release"),
+        }
+    )
+    #: Required chaos-seam inventory: module name -> callables that must
+    #: be defined or referenced there, so the post-PR-5 fault points
+    #: (re-split, bank park/unpark, server disconnect/crash) cannot be
+    #: silently dropped.  Only enforced for modules present in the tree.
+    seam_inventory: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "repro.chaos.injector": (
+                "resplit_fault",
+                "worker_fault",
+                "executor_page",
+            ),
+            "repro.join.hybrid_hash": ("resplit_fault",),
+            # Bank park/unpark chaos points fire through _chaos_point
+            # labels in the session layer; close_session is the
+            # disconnect seam the 220-seed interleaving sweep drives.
+            "repro.server.session": ("_chaos_point", "close_session"),
+            "repro.server.net": ("crash", "recover"),
+            "repro.server.bank": ("crash", "recover", "await_grant"),
+        }
+    )
 
 
 def _parse_suppressions(
@@ -260,11 +325,14 @@ def default_root() -> Path:
 
 def collect_modules(
     paths: Optional[Sequence[Path]] = None,
+    jobs: int = 1,
 ) -> Tuple[List[SourceModule], List[Finding]]:
     """Load every ``.py`` under ``paths`` (default: the repro package).
 
     Returns the parsed modules plus parse-failure findings (a file the
-    engine cannot parse is itself an error, not a crash).
+    engine cannot parse is itself an error, not a crash).  ``jobs > 1``
+    reads and parses files on a thread pool (``--jobs N``); results come
+    back in the same deterministic file order either way.
     """
     if not paths:
         paths = [default_root()]
@@ -276,22 +344,34 @@ def collect_modules(
             files.extend(sorted(p.rglob("*.py")))
         else:
             files.append(p)
+
+    def load_one(path: Path):
+        try:
+            return load_module(path, root=root)
+        except SyntaxError as exc:
+            return Finding(
+                rule="parse",
+                severity=ERROR,
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message="syntax error: %s" % (exc.msg,),
+            )
+
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(load_one, files))
+    else:
+        results = [load_one(path) for path in files]
     modules: List[SourceModule] = []
     failures: List[Finding] = []
-    for path in files:
-        try:
-            modules.append(load_module(path, root=root))
-        except SyntaxError as exc:
-            failures.append(
-                Finding(
-                    rule="parse",
-                    severity=ERROR,
-                    path=str(path),
-                    line=exc.lineno or 0,
-                    col=exc.offset or 0,
-                    message="syntax error: %s" % (exc.msg,),
-                )
-            )
+    for result in results:
+        if isinstance(result, Finding):
+            failures.append(result)
+        else:
+            modules.append(result)
     return modules, failures
 
 
@@ -306,10 +386,11 @@ def run_lint(
     config: Optional[LintConfig] = None,
     rules: Optional[Set[str]] = None,
     checkers: Optional[Sequence[Checker]] = None,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Run every checker over ``paths``; return unsuppressed findings."""
     config = config or LintConfig()
-    modules, findings = collect_modules(paths)
+    modules, findings = collect_modules(paths, jobs=jobs)
     module_by_path = {m.display_path: m for m in modules}
     for checker in checkers if checkers is not None else all_checkers():
         emitted: List[Finding] = []
@@ -382,10 +463,16 @@ def format_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+#: Version of the JSON report layout (CI artifacts key on this; the
+#: legacy top-level ``version`` field is kept for older consumers).
+SCHEMA_VERSION = 2
+
+
 def format_json(findings: Sequence[Finding]) -> str:
     return json.dumps(
         {
             "version": 1,
+            "schema_version": SCHEMA_VERSION,
             "counts": {
                 "errors": sum(1 for f in findings if f.severity == ERROR),
                 "warnings": sum(
@@ -400,6 +487,7 @@ def format_json(findings: Sequence[Finding]) -> str:
 
 __all__ = [
     "ERROR",
+    "SCHEMA_VERSION",
     "WARNING",
     "Checker",
     "Finding",

@@ -193,6 +193,74 @@ def current_recorder() -> Optional[LockOrderRecorder]:
     return _RECORDER
 
 
+# -- session-wide edge accumulation (static-vs-runtime diff) ----------------
+#
+# Each test installs its own recorder (tests/conftest.py) so per-test
+# acyclicity stays isolated; the *union* of every recorder's edges over a
+# whole session is what the static analysis must cover.  The accumulator
+# below survives recorder churn: fold a recorder in before uninstalling
+# it, then diff the union against ``ProjectAnalysis.lock_edges()``.
+
+_SESSION_GUARD = threading.Lock()
+_SESSION_EDGES: Set[Tuple[str, str]] = set()
+
+
+def record_session_edges(recorder: LockOrderRecorder) -> None:
+    """Fold a recorder's observed edges into the process-wide union."""
+    with recorder._guard:
+        observed = set(recorder._edges)
+    with _SESSION_GUARD:
+        _SESSION_EDGES.update(observed)
+
+
+def session_edges() -> Set[Tuple[str, str]]:
+    with _SESSION_GUARD:
+        return set(_SESSION_EDGES)
+
+
+def reset_session_edges() -> None:
+    with _SESSION_GUARD:
+        _SESSION_EDGES.clear()
+
+
+def canonical_lock_name(name: str) -> str:
+    """``repro.governor.Governor._lock`` -> ``Governor._lock``.
+
+    Tracked locks are named with their full module path; the static
+    analysis identifies locks as ``Class.attr`` (:class:`LockRef.base`),
+    so both sides canonicalise to the last two dotted segments.
+    """
+    parts = name.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else name
+
+
+def runtime_edges_missing_statically(
+    static_edges: Set[Tuple[str, str]],
+    runtime_edges: Optional[Set[Tuple[str, str]]] = None,
+) -> List[Tuple[str, str]]:
+    """Runtime-observed edges the static lock graph does not predict.
+
+    Only edges between production locks (``repro.``-prefixed names --
+    tests construct artificial ``"A"``/``"B"`` locks) participate, and
+    rwlock sides collapse with their base name on both sides.  A
+    non-empty result fails the build: it means a thread acquired lock B
+    while holding lock A on a path the interprocedural analysis cannot
+    see, so the static half of the lock-order rule is incomplete.
+    """
+    if runtime_edges is None:
+        runtime_edges = session_edges()
+    missing = []
+    for held, acquired in sorted(runtime_edges):
+        if not (held.startswith("repro.") and acquired.startswith("repro.")):
+            continue
+        edge = (canonical_lock_name(held), canonical_lock_name(acquired))
+        if edge[0] == edge[1]:
+            continue  # rwlock internal mutex reentry folds onto itself
+        if edge not in static_edges:
+            missing.append(edge)
+    return missing
+
+
 def tracked_lock(
     name: str, factory: Callable[[], object] = threading.Lock
 ):
@@ -212,8 +280,13 @@ __all__ = [
     "LockOrderRecorder",
     "LockOrderViolation",
     "TrackedLock",
+    "canonical_lock_name",
     "current_recorder",
     "install_recorder",
+    "record_session_edges",
+    "reset_session_edges",
+    "runtime_edges_missing_statically",
+    "session_edges",
     "tracked_lock",
     "uninstall_recorder",
 ]

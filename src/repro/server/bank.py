@@ -406,6 +406,13 @@ class BankStore:
     def _apply_write_locked(
         self, txn: BankTxn, record: int, old: Any, new: Any
     ) -> None:
+        if self._crashed:
+            # A crash while this writer waited on a record lock aborts
+            # its transaction before it resumes; writing the lost memory
+            # image here would corrupt recovery, so refuse loudly.
+            raise SessionError(
+                "the bank store crashed; call recover() first"
+            )
         self._log_buffer.append(("update", txn.tid, record, old, new))
         self.values[record] = new
         txn.undo.append((record, old))
@@ -459,6 +466,8 @@ class BankStore:
     def _flush_locked(self, reason: str) -> None:
         """Seal the open group: one durable log write, one batched lock
         finalization for the whole group."""
+        if self._crashed:
+            return  # a severed store must not write its durable log
         group = self._group
         self._group = []
         self.log_durable.extend(self._log_buffer)

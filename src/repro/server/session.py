@@ -395,6 +395,10 @@ class Session:
             with mgr._sql_serial_mu:
                 before = db.counters.snapshot()
                 reuse_before = db.reuse_stats()
+                # Serialising the whole statement under _sql_serial_mu is
+                # the point of this fallback: without per-thread counters
+                # the snapshot diff is only exact if nothing interleaves.
+                # repro-lint: disable=blocking-under-lock
                 rel = db.sql(stmt, timeout=mgr.statement_timeout)
                 delta = db.counters.snapshot() - before
                 reuse_after = db.reuse_stats()

@@ -42,7 +42,12 @@ def chaos_seeds(request) -> list:
 
 from repro.cost.counters import OperationCounters
 from repro.cost.parameters import CostParameters
-from repro.lint.runtime import install_recorder, uninstall_recorder
+from repro.lint.runtime import (
+    install_recorder,
+    record_session_edges,
+    session_edges,
+    uninstall_recorder,
+)
 from repro.storage.relation import Relation
 from repro.storage.tuples import DataType, Field, Schema
 
@@ -54,14 +59,41 @@ def lock_order_recorder():
     Installed process-wide before each test, so any engine object built
     inside the test gets TrackedLock instances; teardown asserts the
     observed acquisition graph is acyclic, making every threaded test
-    double as a lock-order check.
+    double as a lock-order check.  Each test's edges are also folded
+    into the session-wide union so the static-vs-runtime lock-graph
+    diff (tests/lint/test_lock_graph_diff.py) sees the whole run.
     """
     recorder = install_recorder()
     try:
         yield recorder
         recorder.assert_acyclic()
     finally:
+        record_session_edges(recorder)
         uninstall_recorder()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Optionally export the runtime-observed lock graph as an artifact.
+
+    ``REPRO_LOCK_GRAPH_OUT=<path>`` makes the full-suite run drop its
+    accumulated edge set as JSON; CI merges it with the static graph via
+    ``python -m repro.lint --lock-graph --runtime-graph <path>``.
+    """
+    import json
+    import os
+
+    out = os.environ.get("REPRO_LOCK_GRAPH_OUT")
+    if not out:
+        return
+    edges = sorted(session_edges())
+    payload = {
+        "schema_version": 2,
+        "kind": "runtime-lock-graph",
+        "edges": [[a, b] for a, b in edges],
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture

@@ -1,0 +1,183 @@
+"""Edge cases for core/rwlock.py the PR-8 suite skipped.
+
+Three behaviors the catalog lock's §5 role depends on: writer
+preference must hold under a reader stampede (a stream of cheap reads
+cannot starve DDL), the owning writer may re-enter the read side, and
+a write-side timeout must withdraw the waiting-writer claim instead of
+wedging the lock against readers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.rwlock import ReadWriteLock
+from repro.errors import StateError
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+class TestWriterPreferenceUnderStampede:
+    def test_new_readers_park_behind_waiting_writer(self):
+        rw = ReadWriteLock("test.rwlock.stampede")
+        n_initial = 3
+        release_readers = threading.Event()
+        holding = threading.Barrier(n_initial + 1)
+
+        def initial_reader():
+            with rw.read_locked():
+                holding.wait(timeout=5.0)
+                release_readers.wait(timeout=5.0)
+
+        readers = [
+            threading.Thread(target=initial_reader, daemon=True)
+            for _ in range(n_initial)
+        ]
+        for t in readers:
+            t.start()
+        holding.wait(timeout=5.0)
+        assert rw.occupancy()["readers"] == n_initial
+
+        writer_in = threading.Event()
+        writer_out = threading.Event()
+
+        def writer():
+            with rw.write_locked():
+                writer_in.set()
+            writer_out.set()
+
+        wt = threading.Thread(target=writer, daemon=True)
+        wt.start()
+        assert _wait_until(
+            lambda: rw.occupancy()["writers_waiting"] == 1
+        )
+
+        # The stampede: late readers must park behind the waiting
+        # writer even though the lock is currently read-held.
+        late_done = []
+
+        def late_reader(i):
+            with rw.read_locked():
+                late_done.append(i)
+
+        late = [
+            threading.Thread(target=late_reader, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for t in late:
+            t.start()
+        time.sleep(0.05)
+        assert late_done == []  # parked: writer preference holds
+        assert rw.occupancy()["readers"] == n_initial
+        assert not writer_in.is_set()
+
+        release_readers.set()
+        assert writer_in.wait(timeout=5.0)
+        assert writer_out.wait(timeout=5.0)
+        for t in late:
+            t.join(timeout=5.0)
+        assert sorted(late_done) == [0, 1, 2, 3]
+        for t in readers + [wt]:
+            t.join(timeout=5.0)
+        occ = rw.occupancy()
+        assert occ["readers"] == 0 and not occ["writer_held"]
+
+
+class TestWriterReentrancy:
+    def test_read_while_holding_write(self):
+        rw = ReadWriteLock("test.rwlock.reentrant")
+        with rw.write_locked():
+            # The writing thread may take the read side freely...
+            with rw.read_locked():
+                assert rw.occupancy()["writer_held"]
+                # ...and re-enter the write side below it.
+                with rw.write_locked():
+                    assert rw.occupancy()["writer_held"]
+            assert rw.occupancy()["writer_held"]
+        occ = rw.occupancy()
+        assert not occ["writer_held"] and occ["readers"] == 0
+
+    def test_reentrant_acquire_write_with_timeout_succeeds(self):
+        rw = ReadWriteLock("test.rwlock.reentrant-timeout")
+        assert rw.acquire_write(timeout=0.01) is True
+        assert rw.acquire_write(timeout=0.01) is True
+        rw.release_write()
+        rw.release_write()
+        assert not rw.occupancy()["writer_held"]
+
+    def test_release_write_by_stranger_raises(self):
+        rw = ReadWriteLock("test.rwlock.stranger")
+        with pytest.raises(StateError):
+            rw.release_write()
+
+
+class TestWriteTimeout:
+    def test_uncontended_timeout_acquire_returns_true(self):
+        rw = ReadWriteLock("test.rwlock.timeout-free")
+        assert rw.acquire_write(timeout=0.05) is True
+        rw.release_write()
+
+    def test_timeout_under_held_read_side(self):
+        rw = ReadWriteLock("test.rwlock.timeout")
+        release = threading.Event()
+        holding = threading.Event()
+
+        def reader():
+            with rw.read_locked():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        rt = threading.Thread(target=reader, daemon=True)
+        rt.start()
+        assert holding.wait(timeout=5.0)
+
+        start = time.monotonic()
+        assert rw.acquire_write(timeout=0.1) is False
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.0  # gave up, did not block unboundedly
+
+        # The failed writer withdrew its claim: no waiting writer
+        # remains, so a fresh reader proceeds immediately.
+        assert rw.occupancy()["writers_waiting"] == 0
+        got_read = []
+
+        def late_reader():
+            with rw.read_locked():
+                got_read.append(True)
+
+        lt = threading.Thread(target=late_reader, daemon=True)
+        lt.start()
+        lt.join(timeout=5.0)
+        assert got_read == [True]
+
+        release.set()
+        rt.join(timeout=5.0)
+        assert rw.acquire_write(timeout=5.0) is True
+        rw.release_write()
+
+    def test_timeout_zero_fails_fast_under_reader(self):
+        rw = ReadWriteLock("test.rwlock.timeout-zero")
+        release = threading.Event()
+        holding = threading.Event()
+
+        def reader():
+            with rw.read_locked():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        rt = threading.Thread(target=reader, daemon=True)
+        rt.start()
+        assert holding.wait(timeout=5.0)
+        assert rw.acquire_write(timeout=0.0) is False
+        release.set()
+        rt.join(timeout=5.0)
